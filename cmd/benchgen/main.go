@@ -1,0 +1,84 @@
+// Command benchgen emits synthetic macro-cell benchmark instances as
+// JSON, either one of the three evaluation instances or a parametric
+// random instance:
+//
+//	benchgen -name ami33 > ami33.json
+//	benchgen -name custom -seed 7 -rows 3 -cells 12 -signal 80 -levela 4,5,6 > my.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"overcell/internal/gen"
+)
+
+func main() {
+	name := flag.String("name", "ami33", "instance: ami33, xerox, ex3, or custom")
+	seed := flag.Int64("seed", 1, "custom: RNG seed")
+	rows := flag.Int("rows", 3, "custom: cell rows")
+	cells := flag.Int("cells", 12, "custom: total cells")
+	signal := flag.Int("signal", 60, "custom: signal (level B) nets")
+	levela := flag.String("levela", "4,4", "custom: comma-separated pin counts of the level A nets")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var inst *gen.Instance
+	var err error
+	switch *name {
+	case "ami33":
+		inst, err = gen.Ami33Like()
+	case "xerox":
+		inst, err = gen.XeroxLike()
+	case "ex3":
+		inst, err = gen.Ex3Like()
+	case "custom":
+		var la []int
+		for _, part := range strings.Split(*levela, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, perr := strconv.Atoi(part)
+			if perr != nil {
+				die(fmt.Errorf("bad -levela entry %q: %w", part, perr))
+			}
+			la = append(la, n)
+		}
+		inst, err = gen.Generate(gen.Params{
+			Name: "custom", Seed: *seed,
+			Rows: *rows, Cells: *cells,
+			CellWMin: 240, CellWMax: 420, CellHMin: 140, CellHMax: 220,
+			RowGap: 64, Margin: 48,
+			SensitivePerMille: 80,
+			SignalNets:        *signal,
+			LevelANets:        la,
+			RailHalfWidth:     6,
+		})
+	default:
+		die(fmt.Errorf("unknown instance %q", *name))
+	}
+	if err != nil {
+		die(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			die(ferr)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := inst.WriteJSON(w); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

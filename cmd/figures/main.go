@@ -1,0 +1,65 @@
+// Command figures regenerates the paper's figures:
+//
+//	figures -fig 1             the level B instance and its Track Intersection Graph
+//	figures -fig 2             the Path Selection Trees for net B
+//	figures -fig 3             the level B routing of ami33 (ASCII)
+//	figures -fig 3 -svg f.svg  the same as SVG
+//	figures -fig all           everything (ASCII)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"overcell/internal/paper"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure: 1, 2, 3, all")
+	svg := flag.String("svg", "", "write figure 3 as SVG to this file")
+	flag.Parse()
+
+	switch *fig {
+	case "1":
+		fmt.Print(paper.Figure1Text())
+	case "2":
+		fmt.Print(paper.Figure2Text())
+	case "3":
+		fig3(*svg)
+	case "all":
+		fmt.Print(paper.Figure1Text())
+		fmt.Println()
+		fmt.Print(paper.Figure2Text())
+		fmt.Println()
+		fig3(*svg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig3(svgPath string) {
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := paper.Figure3SVG(f); err != nil {
+			die(err)
+		}
+		fmt.Println("wrote", svgPath)
+		return
+	}
+	txt, err := paper.Figure3Text()
+	if err != nil {
+		die(err)
+	}
+	fmt.Print(txt)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command ocroute routes a macro-cell instance end to end and reports
+// the metrics of the chosen flow:
+//
+//	benchgen -name xerox | ocroute -flow proposed
+//	ocroute -in chip.json -flow baseline
+//	ocroute -in chip.json -flow proposed -svg routed.svg -nets
+//
+// Flows: baseline (all nets in two-layer channels), proposed (the
+// paper's over-cell methodology), channel4 (optimistic four-layer
+// channel model), channelfree (everything over the cells).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"overcell/internal/flow"
+	"overcell/internal/gen"
+	"overcell/internal/metrics"
+	"overcell/internal/render"
+)
+
+func main() {
+	in := flag.String("in", "", "instance JSON (default stdin)")
+	flowName := flag.String("flow", "proposed", "flow: baseline, proposed, channel4, channelfree, all")
+	svg := flag.String("svg", "", "write the routed layout as SVG to this file")
+	dump := flag.String("dump", "", "write the full level B geometry as text to this file")
+	nets := flag.Bool("nets", false, "print the per-net level B table")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	inst, err := gen.ReadJSON(r)
+	if err != nil {
+		die(err)
+	}
+
+	flows := map[string]func(*gen.Instance, flow.Options) (*flow.Result, error){
+		"baseline":    flow.TwoLayerBaseline,
+		"proposed":    flow.Proposed,
+		"channel4":    flow.FourLayerChannel,
+		"channelfree": flow.ChannelFree,
+	}
+	if *flowName == "all" {
+		// Flows re-place the shared layout, so each runs on a fresh copy
+		// decoded from the serialised instance.
+		var buf bytes.Buffer
+		if err := inst.WriteJSON(&buf); err != nil {
+			die(err)
+		}
+		for _, name := range []string{"baseline", "channel4", "proposed", "channelfree"} {
+			copyInst, err := gen.ReadJSON(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				die(err)
+			}
+			res, err := flows[name](copyInst, flow.Options{})
+			if err != nil {
+				die(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
+		}
+		return
+	}
+	run, ok := flows[*flowName]
+	if !ok {
+		die(fmt.Errorf("unknown flow %q", *flowName))
+	}
+	res, err := run(inst, flow.Options{})
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
+	if res.LevelB != nil {
+		fmt.Printf("level B: %d nets, %d corners, %d search nodes expanded\n",
+			len(res.LevelB.Routes), res.LevelB.Corners, res.LevelB.Expanded)
+		if *nets {
+			fmt.Print(render.NetTable(res.LevelB))
+		}
+	}
+	if *dump != "" && res.LevelB != nil {
+		f, err := os.Create(*dump)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := render.TextDump(f, res.LevelB); err != nil {
+			die(err)
+		}
+		fmt.Println("wrote", *dump)
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := render.SVG(f, inst.Layout, res.BGrid, res.LevelB); err != nil {
+			die(err)
+		}
+		fmt.Println("wrote", *svg)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ocroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package overcell_test
+
+import (
+	"fmt"
+
+	"overcell"
+)
+
+// The smallest possible level B routing session: one net over an empty
+// grid.
+func ExampleNewRouter() {
+	g, _ := overcell.UniformGrid(8, 8, 10)
+	nl := overcell.NewNetlist()
+	nl.AddPoints("n", overcell.Signal, overcell.Pt(10, 10), overcell.Pt(60, 50))
+	res, _ := overcell.NewRouter(g, overcell.DefaultRouterConfig()).Route(nl.Nets())
+	fmt.Println("wire:", res.WireLength, "vias:", res.Vias, "failed:", res.Failed)
+	// Output: wire: 90 vias: 1 failed: 0
+}
+
+// Obstacles block one or both layers; vertical wires cross a
+// metal3-only rail freely.
+func ExampleGrid_BlockRect() {
+	g, _ := overcell.UniformGrid(8, 8, 10)
+	g.BlockRect(overcell.R(0, 30, 70, 40), overcell.MaskH) // metal3 rail
+	nl := overcell.NewNetlist()
+	nl.AddPoints("cross", overcell.Signal, overcell.Pt(40, 0), overcell.Pt(40, 70))
+	res, _ := overcell.NewRouter(g, overcell.DefaultRouterConfig()).Route(nl.Nets())
+	fmt.Println("corners:", res.Routes[0].Corners)
+	// Output: corners: 0
+}
+
+// Channel routing with the greedy column scanner.
+func ExampleRouteChannelGreedy() {
+	p := &overcell.ChannelProblem{
+		Top:    []int{1, 0, 2, 1},
+		Bottom: []int{0, 1, 0, 2},
+	}
+	s, _ := overcell.RouteChannelGreedy(p)
+	fmt.Println("tracks:", s.Tracks)
+	// Output: tracks: 2
+}

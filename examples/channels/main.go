@@ -1,0 +1,52 @@
+// Channels: the level A substrate on its own. Routes one channel
+// problem with all four detailed routers — constrained left-edge,
+// dogleg, Yoshimura-Kuh net merging, and the greedy column scanner —
+// and draws each solution. Algorithms that refuse (cyclic vertical
+// constraints) say so.
+//
+//	go run ./examples/channels
+package main
+
+import (
+	"fmt"
+
+	"overcell/internal/channel"
+	"overcell/internal/render"
+)
+
+func main() {
+	// A small channel with a vertical constraint chain (net 1 above 2
+	// at column 1, net 2 above 3 at column 5) and reusable spans.
+	p := &channel.Problem{
+		Top:    []int{1, 1, 0, 4, 0, 2, 4, 0, 5, 5},
+		Bottom: []int{0, 2, 2, 0, 3, 3, 0, 5, 0, 1},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("channel density (track lower bound): %d\n\n", p.Density())
+
+	algos := []struct {
+		name string
+		run  func(*channel.Problem) (*channel.Solution, error)
+	}{
+		{"constrained left-edge", channel.LeftEdge},
+		{"dogleg left-edge", channel.Dogleg},
+		{"net merging (Yoshimura-Kuh)", channel.NetMerge},
+		{"greedy (Rivest-Fiduccia)", channel.Greedy},
+	}
+	for _, a := range algos {
+		fmt.Println("==", a.name)
+		s, err := a.run(p)
+		if err != nil {
+			fmt.Printf("   refused: %v\n\n", err)
+			continue
+		}
+		if err := s.Validate(p); err != nil {
+			panic(err) // the validation oracle must accept every solution
+		}
+		fmt.Printf("   tracks=%d wire=%d vias=%d\n",
+			s.Tracks, s.WireLength(1, 1), s.ViaCount())
+		fmt.Println(render.ChannelASCII(p, s))
+	}
+}

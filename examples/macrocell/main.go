@@ -1,0 +1,70 @@
+// Macrocell: the paper's headline experiment on one instance. Routes
+// the ami33-like macro-cell layout with the conventional two-layer
+// channel flow and with the proposed four-layer over-cell flow, and
+// reports the reductions of Table 2 plus the Table 3 comparison
+// against an optimistic four-layer channel router.
+//
+//	go run ./examples/macrocell
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"overcell"
+)
+
+func main() {
+	fresh := func() *overcell.Instance {
+		inst, err := overcell.Ami33Like()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return inst
+	}
+
+	base, err := overcell.RunTwoLayerBaseline(fresh(), overcell.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	four, err := overcell.RunFourLayerChannel(fresh(), overcell.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := fresh()
+	prop, err := overcell.RunProposed(inst, overcell.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ami33-like macro-cell layout")
+	fmt.Printf("%-26s %12s %10s %6s\n", "flow", "layout area", "wire len", "vias")
+	for _, row := range []struct {
+		name string
+		r    *overcell.FlowResult
+	}{
+		{"two-layer channel", base},
+		{"four-layer channel (50%)", four},
+		{"four-layer over-cell", prop},
+	} {
+		fmt.Printf("%-26s %12d %10d %6d\n", row.name, row.r.Area, row.r.WireLength, row.r.Vias)
+	}
+	fmt.Printf("\nover-cell vs two-layer:  area -%.1f%%  wire -%.1f%%  vias -%.1f%%\n",
+		overcell.Reduction(base.Area, prop.Area),
+		overcell.Reduction(int64(base.WireLength), int64(prop.WireLength)),
+		overcell.Reduction(int64(base.Vias), int64(prop.Vias)))
+	fmt.Printf("over-cell vs 4-layer channel: area -%.1f%%\n",
+		overcell.Reduction(four.Area, prop.Area))
+
+	// Drop an SVG of the routed chip next to the binary.
+	f, err := os.Create("ami33_overcell.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := overcell.WriteSVG(f, inst, prop); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote ami33_overcell.svg")
+}

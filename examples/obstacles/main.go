@@ -1,0 +1,56 @@
+// Obstacles: demonstrates the level B router's obstacle handling
+// (paper sections 1 and 3): single-layer obstacles (existing metal3
+// power rails, which vertical metal4 runs may cross) versus both-layer
+// obstacles (sensitive circuitry excluded from all over-cell routing),
+// and how routes detour around them.
+//
+//	go run ./examples/obstacles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overcell"
+)
+
+func main() {
+	g, err := overcell.UniformGrid(30, 20, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A metal3-only power rail across the chip: horizontal over-cell
+	// runs must not use these tracks, but vertical runs cross freely.
+	g.BlockRect(overcell.R(0, 90, 290, 100), overcell.MaskH)
+
+	// A sensitive analog block: nothing may route over it at all.
+	g.BlockRect(overcell.R(100, 120, 180, 170), overcell.MaskBoth)
+
+	nl := overcell.NewNetlist()
+	// Crosses the rail vertically: allowed, no detour needed.
+	nl.AddPoints("thru", overcell.Signal, overcell.Pt(40, 20), overcell.Pt(40, 180))
+	// Wants to run horizontally where the rail is: must shift tracks.
+	nl.AddPoints("shift", overcell.Signal, overcell.Pt(10, 90), overcell.Pt(280, 95))
+	// Would cut straight over the sensitive block: must route around.
+	nl.AddPoints("around", overcell.Signal, overcell.Pt(110, 190), overcell.Pt(170, 110))
+
+	router := overcell.NewRouter(g, overcell.DefaultRouterConfig())
+	res, err := router.Route(nl.Nets())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nr := range res.Routes {
+		status := "ok"
+		if nr.Err != nil {
+			status = nr.Err.Error()
+		}
+		fmt.Printf("net %-7s wire=%-5d corners=%d  %s\n",
+			nr.Net.Name, nr.WireLength, nr.Corners, status)
+	}
+	fmt.Println()
+	fmt.Println("legend: '#' blocked both layers, 'h' metal3-only obstacle,")
+	fmt.Println("        '-' horizontal wire, '|' vertical wire, 'x' via, 'o' terminal")
+	fmt.Println()
+	fmt.Print(overcell.RenderASCII(g, res, 1))
+}

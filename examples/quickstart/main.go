@@ -1,0 +1,40 @@
+// Quickstart: route two nets over a small uniform grid with the level
+// B router and print the result as ASCII art.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"overcell"
+)
+
+func main() {
+	// A 24x16 track grid at pitch 10.
+	g, err := overcell.UniformGrid(24, 16, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// An obstacle blocking both layers in the middle (for example a
+	// sensitive circuit excluded from over-cell routing).
+	g.BlockRect(overcell.R(90, 50, 140, 100), overcell.MaskBoth)
+
+	nl := overcell.NewNetlist()
+	nl.AddPoints("data0", overcell.Signal, overcell.Pt(10, 70), overcell.Pt(220, 80))
+	nl.AddPoints("data1", overcell.Signal, overcell.Pt(30, 10), overcell.Pt(200, 140))
+	nl.AddPoints("fanout", overcell.Signal,
+		overcell.Pt(50, 130), overcell.Pt(180, 20), overcell.Pt(120, 140))
+
+	router := overcell.NewRouter(g, overcell.DefaultRouterConfig())
+	res, err := router.Route(nl.Nets())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed %d nets: wire length %d, vias %d, failed %d\n\n",
+		len(res.Routes), res.WireLength, res.Vias, res.Failed)
+	fmt.Print(overcell.RenderASCII(g, res, 1))
+	fmt.Println()
+	fmt.Print(overcell.NetReport(res))
+}

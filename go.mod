@@ -1,0 +1,3 @@
+module overcell
+
+go 1.22

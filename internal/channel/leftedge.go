@@ -1,0 +1,287 @@
+package channel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// item is one track-assignable unit: a whole net for LeftEdge, a
+// pin-to-pin subnet for Dogleg.
+type item struct {
+	id     int
+	net    int
+	lo, hi int
+}
+
+// packLEA runs the constrained left-edge algorithm: tracks are filled
+// from the top; only items whose vertical-constraint predecessors are
+// already placed are eligible; each track takes a maximal set of
+// non-overlapping eligible intervals in left-edge order. It returns
+// the track of each item id and the number of tracks, or an error when
+// the constraint graph is cyclic.
+func packLEA(items []item, edges [][2]int) (map[int]int, int, error) {
+	indeg := map[int]int{}
+	succ := map[int][]int{}
+	exists := map[int]bool{}
+	for _, it := range items {
+		exists[it.id] = true
+		indeg[it.id] += 0
+	}
+	for _, e := range edges {
+		if !exists[e[0]] || !exists[e[1]] {
+			return nil, 0, fmt.Errorf("channel: constraint edge over unknown item %v", e)
+		}
+		succ[e[0]] = append(succ[e[0]], e[1])
+		indeg[e[1]]++
+	}
+	remaining := append([]item(nil), items...)
+	sort.Slice(remaining, func(i, j int) bool {
+		if remaining[i].lo != remaining[j].lo {
+			return remaining[i].lo < remaining[j].lo
+		}
+		return remaining[i].id < remaining[j].id
+	})
+	trackOf := map[int]int{}
+	track := 0
+	for len(remaining) > 0 {
+		lastHi := -2
+		lastNet := 0
+		var placed []int
+		var leftover []item
+		for _, it := range remaining {
+			// Different nets may abut at adjacent columns (their pin
+			// verticals land one column apart); subnets of the same net
+			// may even share the pin column — they merge into one run
+			// tapped by the same vertical.
+			tooClose := it.lo <= lastHi
+			if it.net == lastNet && lastNet != 0 {
+				tooClose = it.lo < lastHi
+			}
+			if indeg[it.id] > 0 || tooClose {
+				leftover = append(leftover, it)
+				continue
+			}
+			trackOf[it.id] = track
+			placed = append(placed, it.id)
+			lastHi = it.hi
+			lastNet = it.net
+		}
+		if len(placed) == 0 {
+			return nil, 0, fmt.Errorf("channel: cyclic vertical constraints (%d items unplaced)", len(remaining))
+		}
+		for _, id := range placed {
+			for _, s := range succ[id] {
+				indeg[s]--
+			}
+		}
+		remaining = leftover
+		track++
+	}
+	return trackOf, track, nil
+}
+
+// LeftEdge routes the channel with the constrained left-edge
+// algorithm: every net occupies exactly one track; vertical
+// constraints (top pin above bottom pin at shared columns) are
+// honoured by the packing order. It fails when the vertical constraint
+// graph is cyclic — the classic limitation doglegs were invented for.
+func LeftEdge(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	spans := p.spans()
+	var items []item
+	var through []int // nets whose pins all sit in one column: routed as a straight vertical
+	for net, sp := range spans {
+		if sp[0] == sp[1] {
+			through = append(through, net)
+			continue
+		}
+		items = append(items, item{id: net, net: net, lo: sp[0], hi: sp[1]})
+	}
+	var edges [][2]int
+	for _, e := range p.VCGEdges() {
+		t, b := e[0], e[1]
+		if spans[t][0] == spans[t][1] || spans[b][0] == spans[b][1] {
+			continue // through-verticals take the whole column; no track ordering applies
+		}
+		edges = append(edges, e)
+	}
+	trackOf, tracks, err := packLEA(items, edges)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Tracks: tracks, Width: p.Width(), Algorithm: "left-edge"}
+	for _, it := range items {
+		sol.Horizontals = append(sol.Horizontals, Segment{
+			Net: it.net, Track: trackOf[it.id], Lo: it.lo, Hi: it.hi,
+		})
+	}
+	emitPinVerticals(sol, p, func(net, col int) []int {
+		if tr, ok := trackOf[net]; ok {
+			return []int{tr}
+		}
+		return nil
+	}, through)
+	sortSolution(sol)
+	return sol, nil
+}
+
+// Dogleg routes the channel with the dogleg left-edge algorithm:
+// multi-pin nets are split into pin-to-pin subnets that may occupy
+// different tracks, which breaks most vertical-constraint cycles and
+// reduces track counts.
+func Dogleg(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Pin columns per net, ascending and unique.
+	cols := map[int][]int{}
+	note := func(net, c int) {
+		if net == 0 {
+			return
+		}
+		lst := cols[net]
+		if len(lst) == 0 || lst[len(lst)-1] != c {
+			cols[net] = append(lst, c)
+		}
+	}
+	for c := 0; c < p.Width(); c++ {
+		note(p.Top[c], c)
+		note(p.Bottom[c], c)
+	}
+	var items []item
+	var through []int
+	subsAt := map[[2]int][]int{} // (net, col) -> subnet item ids with an endpoint there
+	nextID := 1
+	nets := make([]int, 0, len(cols))
+	for net := range cols {
+		nets = append(nets, net)
+	}
+	sort.Ints(nets)
+	for _, net := range nets {
+		cs := cols[net]
+		if len(cs) == 1 {
+			through = append(through, net)
+			continue
+		}
+		for k := 0; k+1 < len(cs); k++ {
+			id := nextID
+			nextID++
+			items = append(items, item{id: id, net: net, lo: cs[k], hi: cs[k+1]})
+			subsAt[[2]int{net, cs[k]}] = append(subsAt[[2]int{net, cs[k]}], id)
+			subsAt[[2]int{net, cs[k+1]}] = append(subsAt[[2]int{net, cs[k+1]}], id)
+		}
+	}
+	// Vertical constraints between subnets sharing a pin column.
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	for c := 0; c < p.Width(); c++ {
+		t, b := p.Top[c], p.Bottom[c]
+		if t == 0 || b == 0 || t == b {
+			continue
+		}
+		for _, ti := range subsAt[[2]int{t, c}] {
+			for _, bi := range subsAt[[2]int{b, c}] {
+				e := [2]int{ti, bi}
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	trackOf, tracks, err := packLEA(items, edges)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Tracks: tracks, Width: p.Width(), Algorithm: "dogleg"}
+	for _, it := range items {
+		sol.Horizontals = append(sol.Horizontals, Segment{
+			Net: it.net, Track: trackOf[it.id], Lo: it.lo, Hi: it.hi,
+		})
+	}
+	emitPinVerticals(sol, p, func(net, col int) []int {
+		var ts []int
+		for _, id := range subsAt[[2]int{net, col}] {
+			ts = append(ts, trackOf[id])
+		}
+		sort.Ints(ts)
+		return ts
+	}, through)
+	sortSolution(sol)
+	return sol, nil
+}
+
+// emitPinVerticals adds, for every pin, the vertical from its channel
+// edge to the track(s) the net occupies at that column (as reported by
+// tracksAt), tapping each. Nets listed in through get a single full
+// edge-to-edge vertical at their column.
+func emitPinVerticals(sol *Solution, p *Problem, tracksAt func(net, col int) []int, through []int) {
+	isThrough := map[int]bool{}
+	for _, net := range through {
+		isThrough[net] = true
+	}
+	doneThrough := map[int]bool{}
+	for c := 0; c < p.Width(); c++ {
+		for side, net := range []int{p.Top[c], p.Bottom[c]} {
+			if net == 0 {
+				continue
+			}
+			if isThrough[net] {
+				if !doneThrough[net] {
+					doneThrough[net] = true
+					hi := sol.Tracks - 1
+					if hi < 0 {
+						hi = 0
+					}
+					v := Vertical{Net: net, Col: c, FromTrack: 0, ToTrack: hi,
+						TouchTop: true, TouchBottom: true}
+					if sol.Tracks == 0 {
+						v.FromTrack, v.ToTrack = 0, 0
+					}
+					sol.Verticals = append(sol.Verticals, v)
+				}
+				continue
+			}
+			ts := tracksAt(net, c)
+			if len(ts) == 0 {
+				continue
+			}
+			// The vertical spans the tapped tracks; TouchTop/TouchBottom
+			// extend it to the pin edge.
+			v := Vertical{Net: net, Col: c, Taps: ts,
+				FromTrack: ts[0], ToTrack: ts[len(ts)-1]}
+			if side == 0 {
+				v.TouchTop = true
+			} else {
+				v.TouchBottom = true
+			}
+			sol.Verticals = append(sol.Verticals, v)
+		}
+	}
+}
+
+// sortSolution orders geometry deterministically for stable output.
+func sortSolution(sol *Solution) {
+	sort.Slice(sol.Horizontals, func(i, j int) bool {
+		a, b := sol.Horizontals[i], sol.Horizontals[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Net < b.Net
+	})
+	sort.Slice(sol.Verticals, func(i, j int) bool {
+		a, b := sol.Verticals[i], sol.Verticals[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.FromTrack < b.FromTrack
+	})
+}

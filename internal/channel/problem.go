@@ -1,0 +1,152 @@
+// Package channel implements classic two-layer channel routing, the
+// substrate the paper's methodology uses for level A ("routing can be
+// performed using existing channel routing packages", section 2) and
+// for the two-layer baseline flow of the evaluation.
+//
+// The model is the standard one: a rectangular channel with pins on
+// its top and bottom edges at integer columns, horizontal wire runs on
+// one layer along tracks, vertical runs on the other layer along
+// columns, and vias at the junctions. Three routers are provided:
+//
+//   - LeftEdge: the constrained left-edge algorithm (no doglegs);
+//     fails on cyclic vertical constraints.
+//   - Dogleg: left-edge over pin-to-pin subnets, the classic dogleg
+//     refinement; fails only on irreducible cycles.
+//   - Greedy: a column-scan router in the spirit of Rivest & Fiduccia
+//     that doglegs and splits nets freely and widens the channel when
+//     stuck, so it always completes.
+//
+// Solutions carry full geometry and a Validate oracle that checks
+// design rules and per-net electrical connectivity, used heavily by
+// the tests.
+package channel
+
+import (
+	"fmt"
+)
+
+// Problem is a channel routing instance. Top[c] and Bottom[c] hold the
+// net number pinned at column c on the respective edge; 0 means no
+// pin. Net numbers are arbitrary positive integers.
+type Problem struct {
+	Top, Bottom []int
+}
+
+// Width returns the number of pin columns.
+func (p *Problem) Width() int { return len(p.Top) }
+
+// Validate checks structural soundness: equal edge lengths, and every
+// net appearing at least twice (a net with a single pin cannot be
+// routed).
+func (p *Problem) Validate() error {
+	if len(p.Top) != len(p.Bottom) {
+		return fmt.Errorf("channel: top has %d columns, bottom %d", len(p.Top), len(p.Bottom))
+	}
+	if len(p.Top) == 0 {
+		return fmt.Errorf("channel: empty problem")
+	}
+	count := map[int]int{}
+	for _, n := range p.Top {
+		if n < 0 {
+			return fmt.Errorf("channel: negative net number %d", n)
+		}
+		if n > 0 {
+			count[n]++
+		}
+	}
+	for _, n := range p.Bottom {
+		if n < 0 {
+			return fmt.Errorf("channel: negative net number %d", n)
+		}
+		if n > 0 {
+			count[n]++
+		}
+	}
+	for n, c := range count {
+		if c < 2 {
+			return fmt.Errorf("channel: net %d has a single pin", n)
+		}
+	}
+	return nil
+}
+
+// Nets returns the set of net numbers with their pin counts.
+func (p *Problem) Nets() map[int]int {
+	count := map[int]int{}
+	for _, n := range p.Top {
+		if n > 0 {
+			count[n]++
+		}
+	}
+	for _, n := range p.Bottom {
+		if n > 0 {
+			count[n]++
+		}
+	}
+	return count
+}
+
+// span returns the leftmost and rightmost pin column of each net.
+func (p *Problem) spans() map[int][2]int {
+	s := map[int][2]int{}
+	note := func(n, c int) {
+		if n == 0 {
+			return
+		}
+		sp, ok := s[n]
+		if !ok {
+			s[n] = [2]int{c, c}
+			return
+		}
+		if c < sp[0] {
+			sp[0] = c
+		}
+		if c > sp[1] {
+			sp[1] = c
+		}
+		s[n] = sp
+	}
+	for c := range p.Top {
+		note(p.Top[c], c)
+		note(p.Bottom[c], c)
+	}
+	return s
+}
+
+// Density returns the maximum column density: the largest number of
+// nets whose pin spans cross any single column boundary. It is the
+// classic lower bound on the number of tracks.
+func (p *Problem) Density() int {
+	spans := p.spans()
+	best := 0
+	for c := 0; c < p.Width(); c++ {
+		d := 0
+		for _, sp := range spans {
+			if sp[0] <= c && c <= sp[1] {
+				d++
+			}
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// VCGEdges returns the vertical constraint edges (top net, bottom net)
+// induced by columns carrying pins of two different nets.
+func (p *Problem) VCGEdges() [][2]int {
+	var edges [][2]int
+	seen := map[[2]int]bool{}
+	for c := 0; c < p.Width(); c++ {
+		t, b := p.Top[c], p.Bottom[c]
+		if t != 0 && b != 0 && t != b {
+			e := [2]int{t, b}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/tig"
+)
+
+func evalGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.Uniform(20, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPathLengthIncremental(t *testing.T) {
+	g := evalGrid(t)
+	e := newCostEvaluator(g, SparseWeights())
+	p := tig.Path{Points: []tig.Point{{Col: 0, Row: 0}, {Col: 10, Row: 0}, {Col: 10, Row: 5}}}
+	if got := e.pathLength(p); got != 150 {
+		t.Fatalf("pathLength = %d, want 150", got)
+	}
+	// With own metal covering part of the horizontal run, only the new
+	// metal is charged.
+	sh := newShape()
+	sh.addH(0, geom.Iv(0, 6))
+	e.own = sh
+	if got := e.pathLength(p); got != 150-60 {
+		t.Errorf("incremental pathLength = %d, want 90", got)
+	}
+	// Fragmented own coverage charges exactly the gaps.
+	sh2 := newShape()
+	sh2.addH(0, geom.Iv(0, 2))
+	sh2.addH(0, geom.Iv(5, 7))
+	e.own = sh2
+	// Overlap length = (x2-x0)+(x7-x5) = 20+20 = 40.
+	if got := e.pathLength(p); got != 150-40 {
+		t.Errorf("fragmented incremental pathLength = %d, want 110", got)
+	}
+}
+
+func TestCouplingCost(t *testing.T) {
+	g := evalGrid(t)
+	// Existing horizontal wire on row 7 spanning cols 2..17.
+	g.CommitHWire(7, geom.Iv(2, 17))
+	w := LengthOnlyWeights()
+	w.Coupling = 1
+	e := newCostEvaluator(g, w)
+
+	adjacent := tig.Path{Points: []tig.Point{{Col: 2, Row: 6}, {Col: 17, Row: 6}, {Col: 17, Row: 12}}}
+	distant := tig.Path{Points: []tig.Point{{Col: 2, Row: 6}, {Col: 2, Row: 12}, {Col: 17, Row: 12}}}
+	if got := e.couplingCost(adjacent); got != 16 {
+		t.Errorf("adjacent couplingCost = %v, want 16 (full parallel run)", got)
+	}
+	if got := e.couplingCost(distant); got != 0 {
+		t.Errorf("distant couplingCost = %v, want 0", got)
+	}
+	// Wider neighbourhood counts more rows.
+	w2 := w
+	w2.CouplingDist = 2
+	e2 := newCostEvaluator(g, w2)
+	nearish := tig.Path{Points: []tig.Point{{Col: 2, Row: 9}, {Col: 17, Row: 9}, {Col: 17, Row: 12}}}
+	if got := e2.couplingCost(nearish); got != 16 {
+		t.Errorf("dist-2 couplingCost = %v, want 16", got)
+	}
+	if got := e.couplingCost(nearish); got != 0 {
+		t.Errorf("dist-1 couplingCost for 2-away run = %v, want 0", got)
+	}
+}
+
+func TestSelectBestPrefersUncoupledPath(t *testing.T) {
+	g := evalGrid(t)
+	g.CommitHWire(7, geom.Iv(2, 17))
+	adjacent := tig.Path{Points: []tig.Point{{Col: 2, Row: 6}, {Col: 17, Row: 6}, {Col: 17, Row: 12}}}
+	distant := tig.Path{Points: []tig.Point{{Col: 2, Row: 6}, {Col: 2, Row: 12}, {Col: 17, Row: 12}}}
+
+	// Length-only: both L shapes cost the same; the tie keeps the
+	// first candidate.
+	plain := newCostEvaluator(g, LengthOnlyWeights())
+	if best, _ := plain.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 17, Row: 6}) {
+		t.Error("tie-break changed: expected the first candidate")
+	}
+	// With the coupling term the distant path wins despite coming
+	// second.
+	w := LengthOnlyWeights()
+	w.Coupling = 1
+	coupled := newCostEvaluator(g, w)
+	if best, _ := coupled.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 2, Row: 12}) {
+		t.Error("coupling term did not steer selection away from the parallel run")
+	}
+}
+
+func TestVerticalCoupling(t *testing.T) {
+	g := evalGrid(t)
+	g.CommitVWire(5, geom.Iv(0, 15))
+	w := LengthOnlyWeights()
+	w.Coupling = 2
+	e := newCostEvaluator(g, w)
+	beside := tig.Path{Points: []tig.Point{{Col: 6, Row: 0}, {Col: 6, Row: 10}}}
+	if got := e.couplingCost(beside); got != 22 {
+		t.Errorf("vertical couplingCost = %v, want 22 (11 points x weight 2)", got)
+	}
+}
+
+func TestCornerCostNormalisation(t *testing.T) {
+	g := evalGrid(t)
+	e := newCostEvaluator(g, SparseWeights())
+	empty := e.cornerCost(tig.Point{Col: 10, Row: 8})
+	if empty != 0 {
+		t.Errorf("empty-grid corner cost = %v, want 0", empty)
+	}
+	g.CommitHWire(8, geom.Iv(8, 12))
+	withWire := e.cornerCost(tig.Point{Col: 10, Row: 8})
+	if withWire <= 0 {
+		t.Error("corner near wire should cost more than empty corner")
+	}
+}

@@ -1,0 +1,95 @@
+// Package delay estimates interconnect propagation delay with a
+// first-order Elmore model, quantifying the paper's motivation for
+// routing long nets at level B: "long distance interconnections are
+// included in set B ... using wider lines to yield shorter propagation
+// delays" (section 2). The metal3/metal4 pair is drawn with wider
+// lines than metal1/metal2, so its per-unit resistance is lower; a net
+// moved from a channel to the over-cell layers is both shorter (no
+// channel detour) and electrically faster per unit.
+//
+// The model lumps each net into a single distributed RC line driven
+// through a driver resistance into its sink loads:
+//
+//	T = Rdrive·(Cwire + ΣCload) + Rwire·(Cwire/2 + ΣCload) + Nvia·Rvia·ΣCload
+//
+// which is the standard π-approximation for a worst-case sink. It is a
+// comparison metric, not a signoff number.
+package delay
+
+// Params carries the electrical technology parameters. Units are
+// arbitrary but consistent: resistance per layout database unit of
+// wire length, capacitance per unit, and the result is in the product
+// unit (think ps when R is mΩ/unit and C is fF/unit).
+type Params struct {
+	// RUnitM12 and CUnitM12 describe the thin metal1/metal2 wires used
+	// inside channels.
+	RUnitM12, CUnitM12 float64
+	// RUnitM34 and CUnitM34 describe the wide metal3/metal4 over-cell
+	// wires: lower resistance, slightly higher capacitance.
+	RUnitM34, CUnitM34 float64
+	// RVia is the resistance of one via.
+	RVia float64
+	// RDrive is the output resistance of the driving gate.
+	RDrive float64
+	// CLoad is the input capacitance of one sink.
+	CLoad float64
+}
+
+// Default returns a late-80s-flavoured parameter set: the upper, wider
+// layer pair has roughly a third of the sheet resistance of the lower
+// pair at ~15 % more capacitance per unit.
+func Default() Params {
+	return Params{
+		RUnitM12: 0.090, CUnitM12: 0.20,
+		RUnitM34: 0.030, CUnitM34: 0.23,
+		RVia:   2.0,
+		RDrive: 50,
+		CLoad:  8,
+	}
+}
+
+// Net describes one routed net for estimation.
+type Net struct {
+	// WireM12 and WireM34 are the wire lengths realised on each layer
+	// pair, in layout units.
+	WireM12, WireM34 int
+	// Vias is the routing via count along the net.
+	Vias int
+	// Sinks is the number of driven terminals (pins - 1, at least 1).
+	Sinks int
+}
+
+// Estimate returns the Elmore delay of the net under p.
+func Estimate(n Net, p Params) float64 {
+	sinks := n.Sinks
+	if sinks < 1 {
+		sinks = 1
+	}
+	cwire := float64(n.WireM12)*p.CUnitM12 + float64(n.WireM34)*p.CUnitM34
+	rwire := float64(n.WireM12)*p.RUnitM12 + float64(n.WireM34)*p.RUnitM34
+	cload := float64(sinks) * p.CLoad
+	return p.RDrive*(cwire+cload) + rwire*(cwire/2+cload) + float64(n.Vias)*p.RVia*cload
+}
+
+// Summary aggregates per-net delays.
+type Summary struct {
+	Max, Mean float64
+	Nets      int
+}
+
+// Summarise computes the aggregate over a set of estimates.
+func Summarise(delays []float64) Summary {
+	s := Summary{Nets: len(delays)}
+	if len(delays) == 0 {
+		return s
+	}
+	total := 0.0
+	for _, d := range delays {
+		total += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = total / float64(len(delays))
+	return s
+}

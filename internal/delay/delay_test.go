@@ -1,0 +1,67 @@
+package delay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateMonotoneInLength(t *testing.T) {
+	p := Default()
+	short := Estimate(Net{WireM12: 100, Vias: 2, Sinks: 1}, p)
+	long := Estimate(Net{WireM12: 500, Vias: 2, Sinks: 1}, p)
+	if long <= short {
+		t.Errorf("longer wire not slower: %v vs %v", long, short)
+	}
+}
+
+func TestWideLayerFasterPerUnit(t *testing.T) {
+	p := Default()
+	m12 := Estimate(Net{WireM12: 1000, Sinks: 1}, p)
+	m34 := Estimate(Net{WireM34: 1000, Sinks: 1}, p)
+	if m34 >= m12 {
+		t.Errorf("metal3/4 run not faster than metal1/2: %v vs %v", m34, m12)
+	}
+}
+
+func TestViasCost(t *testing.T) {
+	p := Default()
+	few := Estimate(Net{WireM12: 200, Vias: 1, Sinks: 1}, p)
+	many := Estimate(Net{WireM12: 200, Vias: 9, Sinks: 1}, p)
+	if many <= few {
+		t.Errorf("vias free? %v vs %v", many, few)
+	}
+}
+
+func TestSinksClamped(t *testing.T) {
+	p := Default()
+	zero := Estimate(Net{WireM12: 100, Sinks: 0}, p)
+	one := Estimate(Net{WireM12: 100, Sinks: 1}, p)
+	if zero != one {
+		t.Errorf("zero sinks should clamp to one: %v vs %v", zero, one)
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	p := Default()
+	f := func(wl12, wl34, vias, sinks uint16) bool {
+		d := Estimate(Net{
+			WireM12: int(wl12), WireM34: int(wl34),
+			Vias: int(vias) % 100, Sinks: int(sinks) % 50,
+		}, p)
+		return d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]float64{1, 3, 2})
+	if s.Nets != 3 || s.Max != 3 || s.Mean != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	empty := Summarise(nil)
+	if empty.Nets != 0 || empty.Max != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

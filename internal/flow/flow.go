@@ -1,0 +1,403 @@
+// Package flow assembles the complete routing flows the paper's
+// evaluation compares (section 4):
+//
+//   - TwoLayerBaseline: every net routed in channels on metal1/metal2,
+//     the conventional flow the paper measures against (Table 2).
+//   - Proposed: the paper's methodology — critical/timing nets at
+//     level A in channels, everything else at level B over the entire
+//     layout on metal3/metal4 (Tables 2 and 3).
+//   - FourLayerChannel: the optimistic multi-layer channel model of
+//     Table 3 (channel heights halved relative to the two-layer flow).
+//   - ChannelFree: the concluding-remarks variant with every net at
+//     level B and the channels collapsed to a minimal separation.
+//
+// Via accounting, used consistently across flows, counts routing vias
+// only: channel solutions contribute one via per vertical-to-track
+// tap; level B nets contribute their corner and T-junction vias.
+// Terminal via stacks are excluded everywhere — the paper folds them
+// into the terminal design (section 2), so they are identical across
+// flows and cancel out of every comparison.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"overcell/internal/channel"
+	"overcell/internal/core"
+	"overcell/internal/delay"
+	"overcell/internal/floorplan"
+	"overcell/internal/gen"
+	"overcell/internal/global"
+	"overcell/internal/grid"
+	"overcell/internal/netlist"
+	"overcell/internal/verify"
+)
+
+// ChannelAlgo selects the detailed channel router.
+type ChannelAlgo int
+
+// Channel router choices. AutoChannel tries dogleg first and falls
+// back to the greedy router when constraints are cyclic.
+const (
+	AutoChannel ChannelAlgo = iota
+	GreedyChannel
+	DoglegChannel
+	LeftEdgeChannel
+	NetMergeChannel
+)
+
+// Options tunes a flow run.
+type Options struct {
+	Channel ChannelAlgo
+	// Core configures the level B router; the zero value means
+	// core.DefaultConfig.
+	Core *core.Config
+	// Partition overrides the net split of the Proposed flow: nets for
+	// which it returns true go to level A (channels), the rest to
+	// level B. Nil means the paper's by-class policy (critical and
+	// timing nets in channels). This is the paper's section 2 knob:
+	// "layout area allocated for channels can be controlled through
+	// the net partitioning process".
+	Partition func(gen.NetSpec) bool
+}
+
+func (o Options) coreConfig() core.Config {
+	if o.Core != nil {
+		return *o.Core
+	}
+	return core.DefaultConfig()
+}
+
+// Result reports one flow run.
+type Result struct {
+	Flow          string
+	Area          int64
+	Width, Height int
+	WireLength    int
+	Vias          int
+	ChannelTracks []int
+	Feedthroughs  int
+	// LevelB holds the over-cell routing result for flows that have
+	// one, including per-net geometry for rendering.
+	LevelB *core.Result
+	// BGrid is the level B routing grid (for rendering); nil for
+	// channel-only flows.
+	BGrid *grid.Grid
+	// Delay is the first-order Elmore delay summary over all routed
+	// nets (see internal/delay), quantifying the paper's propagation-
+	// delay motivation for over-cell routing.
+	Delay delay.Summary
+}
+
+// levelA runs global assignment and detailed channel routing for the
+// subset of nets, returning channel heights and accumulated metrics.
+type levelAResult struct {
+	heights      []int
+	wireLength   int
+	vias         int
+	tracks       []int
+	feedthroughs int
+	// delays holds the per-net Elmore estimates of the channel-routed
+	// nets.
+	delays []float64
+}
+
+func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, algo ChannelAlgo) (*levelAResult, error) {
+	l := inst.Layout
+	// Provisional placement: x-coordinates are all global assignment
+	// needs, and they are independent of channel heights.
+	if err := l.Place(make([]int, l.NumChannels())); err != nil {
+		return nil, err
+	}
+	gnets := inst.GlobalNets(subset)
+	asg, err := global.Assign(l, gnets)
+	if err != nil {
+		return nil, err
+	}
+	res := &levelAResult{heights: make([]int, l.NumChannels())}
+	pitch := l.Tech.M12Pitch
+	netWL := map[int]int{}
+	netVias := map[int]int{}
+	for i, prob := range asg.Problems {
+		sol, err := routeChannel(prob, algo)
+		if err != nil {
+			return nil, fmt.Errorf("flow: channel %d: %w", i, err)
+		}
+		res.heights[i] = sol.Height(pitch)
+		res.tracks = append(res.tracks, sol.Tracks)
+		res.wireLength += sol.WireLength(asg.ColPitch, pitch)
+		res.vias += sol.ViaCount()
+		for net, wl := range sol.NetWireLengths(asg.ColPitch, pitch) {
+			netWL[net] += wl
+		}
+		for net, v := range sol.NetViaCounts() {
+			netVias[net] += v
+		}
+	}
+	res.wireLength += asg.FeedthroughLen
+	res.feedthroughs = asg.Feedthroughs
+	// Per-net Elmore estimates: channel nets run on metal1/metal2.
+	params := delay.Default()
+	for _, gn := range gnets {
+		num := int(gn.ID) + 1
+		res.delays = append(res.delays, delay.Estimate(delay.Net{
+			WireM12: netWL[num] + asg.NetFeedthroughLen[num],
+			Vias:    netVias[num],
+			Sinks:   len(gn.Pins) - 1,
+		}, params))
+	}
+	return res, nil
+}
+
+func routeChannel(p *channel.Problem, algo ChannelAlgo) (*channel.Solution, error) {
+	if empty(p) {
+		return &channel.Solution{Tracks: 0, Width: p.Width(), Algorithm: "empty"}, nil
+	}
+	switch algo {
+	case GreedyChannel:
+		return channel.Greedy(p)
+	case DoglegChannel:
+		return channel.Dogleg(p)
+	case LeftEdgeChannel:
+		return channel.LeftEdge(p)
+	case NetMergeChannel:
+		return channel.NetMerge(p)
+	default:
+		if sol, err := channel.Dogleg(p); err == nil {
+			return sol, nil
+		}
+		return channel.Greedy(p)
+	}
+}
+
+func empty(p *channel.Problem) bool {
+	for _, n := range p.Top {
+		if n != 0 {
+			return false
+		}
+	}
+	for _, n := range p.Bottom {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TwoLayerBaseline routes every net in the channels.
+func TwoLayerBaseline(inst *gen.Instance, opt Options) (*Result, error) {
+	la, err := routeLevelA(inst, nil, opt.Channel)
+	if err != nil {
+		return nil, err
+	}
+	l := inst.Layout
+	if err := l.Place(la.heights); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Flow:          "two-layer-channel",
+		Area:          l.Area(),
+		Width:         l.Width(),
+		Height:        l.Height(),
+		WireLength:    la.wireLength,
+		Vias:          la.vias,
+		ChannelTracks: la.tracks,
+		Feedthroughs:  la.feedthroughs,
+		Delay:         delay.Summarise(la.delays),
+	}, nil
+}
+
+// FourLayerChannel models the paper's Table 3 comparison: a
+// hypothetical multi-layer channel router is optimistically assumed to
+// need half the channel height of the two-layer router. Only layout
+// area is meaningful; wire length and vias are inherited from the
+// two-layer routing as an approximation.
+func FourLayerChannel(inst *gen.Instance, opt Options) (*Result, error) {
+	la, err := routeLevelA(inst, nil, opt.Channel)
+	if err != nil {
+		return nil, err
+	}
+	halved := make([]int, len(la.heights))
+	for i, h := range la.heights {
+		halved[i] = (h + 1) / 2
+	}
+	l := inst.Layout
+	if err := l.Place(halved); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Flow:          "four-layer-channel(50%)",
+		Area:          l.Area(),
+		Width:         l.Width(),
+		Height:        l.Height(),
+		WireLength:    la.wireLength,
+		Vias:          la.vias,
+		ChannelTracks: la.tracks,
+		Feedthroughs:  la.feedthroughs,
+		Delay:         delay.Summarise(la.delays),
+	}, nil
+}
+
+// Proposed runs the paper's two-level methodology.
+func Proposed(inst *gen.Instance, opt Options) (*Result, error) {
+	inA := opt.Partition
+	if inA == nil {
+		inA = gen.NetSpec.LevelA
+	}
+	la, err := routeLevelA(inst, inA, opt.Channel)
+	if err != nil {
+		return nil, err
+	}
+	l := inst.Layout
+	if err := l.Place(la.heights); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Flow:          "over-cell",
+		ChannelTracks: la.tracks,
+		Feedthroughs:  la.feedthroughs,
+	}
+	bDelays, err := routeLevelB(inst, func(s gen.NetSpec) bool { return !inA(s) }, opt, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Area = l.Area()
+	res.Width, res.Height = l.Width(), l.Height()
+	res.WireLength += la.wireLength
+	res.Vias += la.vias
+	res.Delay = delay.Summarise(append(bDelays, la.delays...))
+	return res, nil
+}
+
+// ChannelFree routes every net at level B; channels collapse to one
+// over-cell pitch of separation (paper section 5: "channel areas can
+// be eliminated and the entire set of interconnections can be routed
+// in level B").
+func ChannelFree(inst *gen.Instance, opt Options) (*Result, error) {
+	l := inst.Layout
+	sep := make([]int, l.NumChannels())
+	for i := range sep {
+		sep[i] = l.Tech.M34Pitch
+	}
+	if err := l.Place(sep); err != nil {
+		return nil, err
+	}
+	res := &Result{Flow: "channel-free"}
+	bDelays, err := routeLevelB(inst, nil, opt, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Area = l.Area()
+	res.Width, res.Height = l.Width(), l.Height()
+	res.Delay = delay.Summarise(bDelays)
+	return res, nil
+}
+
+// routeLevelB builds the over-cell grid on the current placement,
+// applies the obstacle specification, routes the subset of nets with
+// the core router and folds the metrics into res.
+func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, res *Result) ([]float64, error) {
+	l := inst.Layout
+	nl, _ := inst.BuildNetlist(subset)
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: level B netlist: %w", err)
+	}
+	g, err := buildBGrid(l, nl)
+	if err != nil {
+		return nil, err
+	}
+	obstacles := inst.Obstacles()
+	for _, o := range obstacles {
+		g.BlockRect(o.Rect, o.Mask)
+	}
+	// Terminals coinciding with obstacles would be silently unblocked
+	// by the router's own-terminal lifting; reject them up front.
+	for _, n := range nl.Nets() {
+		for _, t := range n.Terminals {
+			for _, o := range obstacles {
+				if o.Mask == grid.MaskBoth && o.Rect.Contains(t.Pos) {
+					return nil, fmt.Errorf("flow: net %q terminal %v inside obstacle %v",
+						n.Name, t.Pos, o.Rect)
+				}
+			}
+		}
+	}
+	router := core.New(g, opt.coreConfig())
+	cres, err := router.Route(nl.Nets())
+	if err != nil {
+		return nil, err
+	}
+	if cres.Failed > 0 {
+		return nil, fmt.Errorf("flow: %d level B nets unroutable", cres.Failed)
+	}
+	// Every flow result is verified against the design rules before it
+	// is reported: conflicts, per-net connectivity, and obstacle
+	// exclusion.
+	var regions []verify.Region
+	for _, o := range obstacles {
+		cols, rows, ok := g.IndexWindow(o.Rect)
+		if !ok {
+			continue
+		}
+		regions = append(regions, verify.Region{
+			Cols: cols, Rows: rows,
+			BlocksH: o.Mask&grid.MaskH != 0,
+			BlocksV: o.Mask&grid.MaskV != 0,
+		})
+	}
+	if err := verify.LevelB(cres, regions); err != nil {
+		return nil, fmt.Errorf("flow: routed result failed verification: %w", err)
+	}
+	res.LevelB = cres
+	res.BGrid = g
+	res.WireLength += cres.WireLength
+	// Routing vias only: corners and T-junctions. Terminal via stacks
+	// are part of the terminal design (paper section 2) and identical
+	// across flows.
+	res.Vias += cres.Vias
+	// Per-net Elmore estimates: over-cell nets run on the wide
+	// metal3/metal4 pair.
+	params := delay.Default()
+	var ds []float64
+	for _, nr := range cres.Routes {
+		ds = append(ds, delay.Estimate(delay.Net{
+			WireM34: nr.WireLength,
+			Vias:    len(nr.Vias),
+			Sinks:   len(nr.Terminals) - 1,
+		}, params))
+	}
+	return ds, nil
+}
+
+// buildBGrid constructs the level B grid: uniform tracks at the
+// metal3/metal4 pitch over the whole layout, plus a track at every
+// terminal coordinate (the paper's non-uniform track spacing), so
+// every terminal lies exactly on a grid point.
+func buildBGrid(l *floorplan.Layout, nl *netlist.Netlist) (*grid.Grid, error) {
+	xs := map[int]bool{}
+	ys := map[int]bool{}
+	pitch := l.Tech.M34Pitch
+	for x := 0; x <= l.Width(); x += pitch {
+		xs[x] = true
+	}
+	for y := 0; y <= l.Height(); y += pitch {
+		ys[y] = true
+	}
+	for _, n := range nl.Nets() {
+		for _, t := range n.Terminals {
+			xs[t.Pos.X] = true
+			ys[t.Pos.Y] = true
+		}
+	}
+	return grid.New(sortedKeys(xs), sortedKeys(ys))
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,61 @@
+package flow
+
+import (
+	"testing"
+
+	"overcell/internal/gen"
+)
+
+// TestLargeInstanceCompletes routes a chip four times the size of the
+// paper's examples end to end: 96 cells in 8 rows, 620 nets. All four
+// flows must complete with zero failed nets and the expected metric
+// ordering.
+func TestLargeInstanceCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	mk := func() *gen.Instance {
+		inst, err := gen.Generate(gen.Params{
+			Name: "big", Seed: 404,
+			Rows: 8, Cells: 96,
+			CellWMin: 240, CellWMax: 420, CellHMin: 150, CellHMax: 230,
+			RowGap: 96, Margin: 48,
+			SensitivePerMille: 60,
+			SignalNets:        600,
+			LevelANets:        []int{40, 38, 12, 10, 8, 8, 6, 6, 4, 4},
+			RailHalfWidth:     6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	base, err := TwoLayerBaseline(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Proposed(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := ChannelFree(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.LevelB.Failed != 0 || free.LevelB.Failed != 0 {
+		t.Fatalf("level B failures: proposed %d, channel-free %d",
+			prop.LevelB.Failed, free.LevelB.Failed)
+	}
+	t.Logf("base area=%d prop=%d free=%d; wl %d -> %d; vias %d -> %d",
+		base.Area, prop.Area, free.Area,
+		base.WireLength, prop.WireLength, base.Vias, prop.Vias)
+	if !(free.Area < prop.Area && prop.Area < base.Area) {
+		t.Errorf("area ordering violated: %d / %d / %d", base.Area, prop.Area, free.Area)
+	}
+	if prop.WireLength >= base.WireLength {
+		t.Errorf("wire length not reduced at scale: %d vs %d", prop.WireLength, base.WireLength)
+	}
+	if prop.Delay.Mean >= base.Delay.Mean {
+		t.Errorf("delay not reduced at scale")
+	}
+}

@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"testing"
+
+	"overcell/internal/netlist"
+)
+
+func stats(t *testing.T, inst *Instance) (total, levelA, aPins int) {
+	t.Helper()
+	for _, s := range inst.Nets {
+		total++
+		if s.LevelA() {
+			levelA++
+			aPins += len(s.Pins)
+		}
+	}
+	return
+}
+
+func TestAmi33LikeMatchesTable1(t *testing.T) {
+	inst, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Layout.Cells()); got != 33 {
+		t.Errorf("cells = %d, want 33", got)
+	}
+	total, levelA, aPins := stats(t, inst)
+	if total != 123 {
+		t.Errorf("nets = %d, want 123", total)
+	}
+	if levelA != 4 {
+		t.Errorf("level A nets = %d, want 4", levelA)
+	}
+	if avg := float64(aPins) / float64(levelA); avg != 44.25 {
+		t.Errorf("level A avg pins = %v, want 44.25", avg)
+	}
+}
+
+func TestXeroxLikeMatchesTable1(t *testing.T) {
+	inst, err := XeroxLike()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Layout.Cells()); got != 10 {
+		t.Errorf("cells = %d, want 10", got)
+	}
+	total, levelA, aPins := stats(t, inst)
+	if total != 203 {
+		t.Errorf("nets = %d, want 203", total)
+	}
+	if levelA != 21 {
+		t.Errorf("level A nets = %d, want 21", levelA)
+	}
+	avg := float64(aPins) / float64(levelA)
+	if avg < 9.18 || avg > 9.20 {
+		t.Errorf("level A avg pins = %v, want ~9.19", avg)
+	}
+}
+
+func TestEx3LikeMatchesTable1(t *testing.T) {
+	inst, err := Ex3Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, levelA, aPins := stats(t, inst)
+	if total != 240 {
+		t.Errorf("nets = %d, want 240", total)
+	}
+	if levelA != 56 {
+		t.Errorf("level A nets = %d, want 56", levelA)
+	}
+	avg := float64(aPins) / float64(levelA)
+	if avg < 3.22 || avg > 3.24 {
+		t.Errorf("level A avg pins = %v, want ~3.23", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatal("net counts differ")
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Name != b.Nets[i].Name || len(a.Nets[i].Pins) != len(b.Nets[i].Pins) {
+			t.Fatalf("net %d differs", i)
+		}
+		for k := range a.Nets[i].Pins {
+			pa, pb := a.Nets[i].Pins[k], b.Nets[i].Pins[k]
+			if pa.DX != pb.DX || pa.Side != pb.Side || pa.Cell().Name != pb.Cell().Name {
+				t.Fatalf("net %d pin %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Params{Rows: 1, Cells: 5}); err == nil {
+		t.Error("single-row accepted")
+	}
+	if _, err := Generate(Params{Rows: 3, Cells: 2}); err == nil {
+		t.Error("fewer cells than rows accepted")
+	}
+	if _, err := Generate(Params{Rows: 2, Cells: 4, CellWMin: 0}); err == nil {
+		t.Error("zero cell width accepted")
+	}
+}
+
+func TestLevelANetsFaceChannels(t *testing.T) {
+	inst, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nch := inst.Layout.NumChannels()
+	for _, s := range inst.Nets {
+		if !s.LevelA() {
+			continue
+		}
+		for _, p := range s.Pins {
+			c := p.ChannelIndex()
+			if c < 0 || c >= nch {
+				t.Fatalf("level A net %q pin faces channel %d (of %d)", s.Name, c, nch)
+			}
+		}
+	}
+}
+
+func TestSignalNetsAvoidSensitiveCells(t *testing.T) {
+	inst, err := Ex3Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens := 0
+	for _, c := range inst.Layout.Cells() {
+		if c.Sensitive {
+			sens++
+		}
+	}
+	if sens == 0 {
+		t.Skip("no sensitive cells drawn for this seed")
+	}
+	for _, s := range inst.Nets {
+		if s.Class != netlist.Signal {
+			continue
+		}
+		for _, p := range s.Pins {
+			if p.Cell().Sensitive {
+				t.Fatalf("signal net %q has a pin on sensitive cell %q", s.Name, p.Cell().Name)
+			}
+		}
+	}
+}
+
+func TestPinPositionsDistinct(t *testing.T) {
+	inst, err := XeroxLike()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Layout.Place(make([]int, inst.Layout.NumChannels())); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]string{}
+	for _, s := range inst.Nets {
+		for _, p := range s.Pins {
+			pos := p.Pos()
+			key := [2]int{pos.X, pos.Y}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("pins of %q and %q share position %v", prev, s.Name, pos)
+			}
+			seen[key] = s.Name
+		}
+	}
+}
+
+func TestObstaclesResolved(t *testing.T) {
+	inst, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Layout.Place(make([]int, inst.Layout.NumChannels())); err != nil {
+		t.Fatal(err)
+	}
+	obs := inst.Obstacles()
+	// At least the four power rails (one per row).
+	if len(obs) < len(inst.Layout.Rows) {
+		t.Errorf("obstacles = %d, want at least %d rails", len(obs), len(inst.Layout.Rows))
+	}
+	bounds := inst.Layout.Bounds()
+	for _, o := range obs {
+		if !bounds.ContainsRect(o.Rect) {
+			t.Errorf("obstacle %v outside layout %v", o.Rect, bounds)
+		}
+	}
+}

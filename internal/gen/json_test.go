@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Nets) != len(orig.Nets) {
+		t.Fatalf("round trip lost structure: %q %d nets", back.Name, len(back.Nets))
+	}
+	if len(back.Layout.Cells()) != len(orig.Layout.Cells()) {
+		t.Fatal("cell count changed")
+	}
+	for i := range orig.Nets {
+		a, b := orig.Nets[i], back.Nets[i]
+		if a.Name != b.Name || a.Class != b.Class || len(a.Pins) != len(b.Pins) {
+			t.Fatalf("net %d differs: %+v vs %+v", i, a.Name, b.Name)
+		}
+		for k := range a.Pins {
+			if a.Pins[k].DX != b.Pins[k].DX || a.Pins[k].Side != b.Pins[k].Side ||
+				a.Pins[k].Cell().Name != b.Pins[k].Cell().Name {
+				t.Fatalf("net %d pin %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "{",
+		"unknownClass": `{"name":"x","rows":[{"gap":10,"cells":[{"name":"a","w":50,"h":50}]},{"gap":10,"cells":[{"name":"b","w":50,"h":50}]}],"nets":[{"name":"n","class":"bogus","pins":[]}]}`,
+		"unknownCell":  `{"name":"x","rows":[{"gap":10,"cells":[{"name":"a","w":50,"h":50}]},{"gap":10,"cells":[{"name":"b","w":50,"h":50}]}],"nets":[{"name":"n","class":"signal","pins":[{"cell":"zz","name":"p","dx":10,"side":"top"}]}]}`,
+		"badSide":      `{"name":"x","rows":[{"gap":10,"cells":[{"name":"a","w":50,"h":50}]},{"gap":10,"cells":[{"name":"b","w":50,"h":50}]}],"nets":[{"name":"n","class":"signal","pins":[{"cell":"a","name":"p","dx":10,"side":"left"}]}]}`,
+		"dupCell":      `{"name":"x","rows":[{"gap":10,"cells":[{"name":"a","w":50,"h":50},{"name":"a","w":50,"h":50}]},{"gap":10,"cells":[{"name":"b","w":50,"h":50}]}],"nets":[]}`,
+	}
+	for label, js := range cases {
+		if _, err := ReadJSON(strings.NewReader(js)); err == nil {
+			t.Errorf("%s accepted", label)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package geom
+
+import "testing"
+
+// FuzzIntervalSet drives the interval set with an op-code string and
+// cross-checks every outcome against a dense boolean model. Run deep
+// fuzzing with:
+//
+//	go test -fuzz=FuzzIntervalSet ./internal/geom
+func FuzzIntervalSet(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x96, 0x01})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f, 0x33})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 64
+		var s IntervalSet
+		var ref [n]bool
+		for i := 0; i+1 < len(ops); i += 2 {
+			lo := int(ops[i]) % n
+			hi := lo + int(ops[i+1]%8)
+			if hi >= n {
+				hi = n - 1
+			}
+			iv := Iv(lo, hi)
+			if ops[i]&0x80 != 0 {
+				s.Remove(iv)
+				for x := lo; x <= hi; x++ {
+					ref[x] = false
+				}
+			} else {
+				s.Add(iv)
+				for x := lo; x <= hi; x++ {
+					ref[x] = true
+				}
+			}
+		}
+		count := 0
+		for x := 0; x < n; x++ {
+			if ref[x] {
+				count++
+			}
+			if s.Contains(x) != ref[x] {
+				t.Fatalf("Contains(%d) = %v, model %v (%s)", x, s.Contains(x), ref[x], s.String())
+			}
+		}
+		if s.Count() != count {
+			t.Fatalf("Count = %d, model %d", s.Count(), count)
+		}
+		// Normalisation invariant.
+		ivs := s.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Lo <= ivs[i-1].Hi+1 {
+				t.Fatalf("not normalised: %s", s.String())
+			}
+		}
+	})
+}

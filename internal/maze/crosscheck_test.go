@@ -1,0 +1,52 @@
+package maze
+
+import (
+	"math/rand"
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/tig"
+)
+
+// TestTIGSoundAgainstMaze cross-checks the TIG search against the maze
+// router on random obstacle fields: whenever the TIG search finds a
+// path, a maze route must exist too (the TIG search is a restriction
+// of full grid reachability, never an extension). The reverse need not
+// hold: the examine-once rule deliberately sacrifices completeness.
+func TestTIGSoundAgainstMaze(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 20
+	found := 0
+	for trial := 0; trial < 150; trial++ {
+		g, err := grid.Uniform(n, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			x, y := rng.Intn(n-3), rng.Intn(n-3)
+			mask := grid.MaskBoth
+			if rng.Intn(3) == 0 {
+				mask = grid.MaskH
+			}
+			g.BlockRect(geom.R(x, y, x+rng.Intn(6), y+rng.Intn(6)), mask)
+		}
+		from := tig.Point{Col: rng.Intn(n), Row: rng.Intn(n)}
+		to := tig.Point{Col: rng.Intn(n), Row: rng.Intn(n)}
+		if from == to || !g.PointFree(from.Col, from.Row) || !g.PointFree(to.Col, to.Row) {
+			continue
+		}
+		res, ok := tig.Search(g, from, to, tig.Config{})
+		if !ok {
+			continue
+		}
+		found++
+		if _, mok := Route(g, from, to, geom.Iv(0, n-1), geom.Iv(0, n-1)); !mok {
+			t.Fatalf("trial %d: TIG found %v but maze reports unreachable",
+				trial, res.Paths[0].Points)
+		}
+	}
+	if found < 50 {
+		t.Fatalf("only %d informative trials; generator too hostile", found)
+	}
+}

@@ -1,0 +1,178 @@
+// Package maze implements a Lee-style maze router over the same
+// two-layer HV grid model as the level B router. It is the baseline
+// the paper positions its Track Intersection Graph search against:
+// "the proposed router adopts a different representation for the
+// solution space ... that results in faster completion of the
+// interconnections on the average when compared to maze type
+// algorithms" (section 3). The benchmarks in this module compare the
+// two head to head on identical instances.
+//
+// The router is a breadth-first wave expansion over (column, row,
+// layer) states: horizontal steps on LayerH, vertical steps on LayerV,
+// and layer changes (vias) at points clear on both layers. It finds
+// paths with the minimum number of grid steps plus via steps.
+package maze
+
+import (
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/tig"
+)
+
+// state is one cell of the wave expansion.
+type state struct {
+	col, row int
+	layer    grid.Layer
+}
+
+// Result reports a maze routing run.
+type Result struct {
+	Path tig.Path
+	// Expanded counts the states the wave visited, the cost measure
+	// used for the TIG-vs-maze comparison.
+	Expanded int
+}
+
+// Route finds a minimum-step path between the two grid points, both of
+// which must be clear on both layers. The search is restricted to the
+// index-space window (cols, rows); pass the full grid range for an
+// unrestricted search.
+func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result, bool) {
+	cols = cols.Intersect(geom.Iv(0, g.NX()-1))
+	rows = rows.Intersect(geom.Iv(0, g.NY()-1))
+	if !cols.Contains(from.Col) || !rows.Contains(from.Row) ||
+		!cols.Contains(to.Col) || !rows.Contains(to.Row) {
+		return nil, false
+	}
+	if from == to {
+		return &Result{Path: tig.Path{Points: []tig.Point{from}}}, true
+	}
+	if !g.PointFree(from.Col, from.Row) || !g.PointFree(to.Col, to.Row) {
+		return nil, false
+	}
+
+	w := cols.Len()
+	h := rows.Len()
+	idx := func(s state) int {
+		return (int(s.layer)*h+(s.row-rows.Lo))*w + (s.col - cols.Lo)
+	}
+	prev := make([]int32, 2*w*h)
+	for i := range prev {
+		prev[i] = -1
+	}
+	res := &Result{}
+
+	// Either layer is acceptable at the source: the terminal stack
+	// reaches both.
+	starts := []state{
+		{from.Col, from.Row, grid.LayerH},
+		{from.Col, from.Row, grid.LayerV},
+	}
+	queue := make([]state, 0, len(starts))
+	for _, s := range starts {
+		prev[idx(s)] = int32(idx(s)) // self-parent marks the roots
+		queue = append(queue, s)
+		res.Expanded++
+	}
+
+	free := func(s state) bool {
+		if s.layer == grid.LayerH {
+			return g.HFree(s.row, geom.Iv(s.col, s.col))
+		}
+		return g.VFree(s.col, geom.Iv(s.row, s.row))
+	}
+
+	var goal state
+	found := false
+	for qi := 0; qi < len(queue) && !found; qi++ {
+		cur := queue[qi]
+		var moves []state
+		if cur.layer == grid.LayerH {
+			moves = []state{
+				{cur.col - 1, cur.row, grid.LayerH},
+				{cur.col + 1, cur.row, grid.LayerH},
+				{cur.col, cur.row, grid.LayerV}, // via
+			}
+		} else {
+			moves = []state{
+				{cur.col, cur.row - 1, grid.LayerV},
+				{cur.col, cur.row + 1, grid.LayerV},
+				{cur.col, cur.row, grid.LayerH}, // via
+			}
+		}
+		for _, nxt := range moves {
+			if !cols.Contains(nxt.col) || !rows.Contains(nxt.row) {
+				continue
+			}
+			if prev[idx(nxt)] >= 0 {
+				continue
+			}
+			if nxt.layer == cur.layer {
+				if !free(nxt) {
+					continue
+				}
+			} else if !g.PointFree(nxt.col, nxt.row) {
+				continue // a via needs the point clear on both layers
+			}
+			prev[idx(nxt)] = int32(idx(cur))
+			res.Expanded++
+			if nxt.col == to.Col && nxt.row == to.Row {
+				goal = nxt
+				found = true
+				break
+			}
+			queue = append(queue, nxt)
+		}
+	}
+	if !found {
+		return res, false
+	}
+	res.Path = backtrace(prev, goal, w, h, cols, rows, idx)
+	return res, true
+}
+
+// backtrace walks the parent pointers from the goal to a root and
+// compresses the cell sequence into corner points.
+func backtrace(prev []int32, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
+	unidx := func(i int) state {
+		layer := grid.Layer(i / (w * h))
+		rem := i % (w * h)
+		return state{
+			col:   rem%w + cols.Lo,
+			row:   rem/w + rows.Lo,
+			layer: layer,
+		}
+	}
+	var cells []tig.Point
+	cur := goal
+	for {
+		p := tig.Point{Col: cur.col, Row: cur.row}
+		if len(cells) == 0 || cells[len(cells)-1] != p {
+			cells = append(cells, p)
+		}
+		pi := prev[idx(cur)]
+		if int(pi) == idx(cur) {
+			break // root
+		}
+		cur = unidx(int(pi))
+	}
+	// Reverse into source->target order.
+	for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
+		cells[i], cells[j] = cells[j], cells[i]
+	}
+	// Compress collinear runs.
+	if len(cells) <= 2 {
+		return tig.Path{Points: cells}
+	}
+	out := []tig.Point{cells[0]}
+	for i := 1; i < len(cells)-1; i++ {
+		a := out[len(out)-1]
+		b, c := cells[i], cells[i+1]
+		if (a.Col == b.Col && b.Col == c.Col) || (a.Row == b.Row && b.Row == c.Row) {
+			continue
+		}
+		out = append(out, b)
+	}
+	out = append(out, cells[len(cells)-1])
+	return tig.Path{Points: out}
+}

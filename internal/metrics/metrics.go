@@ -1,0 +1,72 @@
+// Package metrics computes and formats the comparisons the paper's
+// evaluation reports: per-flow layout area, total wire length and via
+// count, and the percent reductions between flows (Tables 2 and 3).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"overcell/internal/flow"
+)
+
+// Reduction returns the percent reduction from base to new: positive
+// when new is smaller. A zero base yields zero.
+func Reduction(base, new int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(base-new) / float64(base)
+}
+
+// Comparison pairs two flow results over the same instance.
+type Comparison struct {
+	Instance  string
+	Base, New *flow.Result
+}
+
+// AreaReduction returns the percent layout-area reduction.
+func (c Comparison) AreaReduction() float64 { return Reduction(c.Base.Area, c.New.Area) }
+
+// WireReduction returns the percent wire-length reduction.
+func (c Comparison) WireReduction() float64 {
+	return Reduction(int64(c.Base.WireLength), int64(c.New.WireLength))
+}
+
+// ViaReduction returns the percent via-count reduction.
+func (c Comparison) ViaReduction() float64 {
+	return Reduction(int64(c.Base.Vias), int64(c.New.Vias))
+}
+
+// Table2 formats comparisons in the layout of the paper's Table 2:
+// percent reductions of the proposed flow over the two-layer channel
+// flow, per example.
+func Table2(rows []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %8s\n", "Example", "Layout Area", "Wire Length", "Vias")
+	for _, c := range rows {
+		fmt.Fprintf(&b, "%-8s %11.1f%% %11.1f%% %7.1f%%\n",
+			c.Instance, c.AreaReduction(), c.WireReduction(), c.ViaReduction())
+	}
+	return b.String()
+}
+
+// Table3 formats comparisons in the layout of the paper's Table 3:
+// absolute layout areas of the optimistic four-layer channel flow and
+// the over-cell flow, with the percent reduction.
+func Table3(rows []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %18s %18s %10s\n",
+		"Example", "4-Layer Channel", "4-Layer Over-Cell", "Reduction")
+	for _, c := range rows {
+		fmt.Fprintf(&b, "%-8s %18d %18d %9.1f%%\n",
+			c.Instance, c.Base.Area, c.New.Area, c.AreaReduction())
+	}
+	return b.String()
+}
+
+// FlowLine formats one flow result as a single report line.
+func FlowLine(name string, r *flow.Result) string {
+	return fmt.Sprintf("%-24s area=%-12d wl=%-10d vias=%-6d delay(mean/max)=%.0f/%.0f size=%dx%d tracks=%v",
+		name, r.Area, r.WireLength, r.Vias, r.Delay.Mean, r.Delay.Max, r.Width, r.Height, r.ChannelTracks)
+}

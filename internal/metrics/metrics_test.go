@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"overcell/internal/flow"
+)
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(200, 150); got != 25 {
+		t.Errorf("Reduction = %v, want 25", got)
+	}
+	if got := Reduction(100, 120); got != -20 {
+		t.Errorf("negative Reduction = %v, want -20", got)
+	}
+	if got := Reduction(0, 50); got != 0 {
+		t.Errorf("zero-base Reduction = %v, want 0", got)
+	}
+}
+
+func comparison() Comparison {
+	return Comparison{
+		Instance: "demo",
+		Base:     &flow.Result{Area: 1000, WireLength: 500, Vias: 40},
+		New:      &flow.Result{Area: 800, WireLength: 300, Vias: 30},
+	}
+}
+
+func TestComparisonReductions(t *testing.T) {
+	c := comparison()
+	if c.AreaReduction() != 20 {
+		t.Errorf("area = %v", c.AreaReduction())
+	}
+	if c.WireReduction() != 40 {
+		t.Errorf("wire = %v", c.WireReduction())
+	}
+	if c.ViaReduction() != 25 {
+		t.Errorf("vias = %v", c.ViaReduction())
+	}
+}
+
+func TestTables(t *testing.T) {
+	rows := []Comparison{comparison()}
+	t2 := Table2(rows)
+	if !strings.Contains(t2, "demo") || !strings.Contains(t2, "20.0%") {
+		t.Errorf("Table2:\n%s", t2)
+	}
+	t3 := Table3(rows)
+	if !strings.Contains(t3, "1000") || !strings.Contains(t3, "800") {
+		t.Errorf("Table3:\n%s", t3)
+	}
+}
+
+func TestFlowLine(t *testing.T) {
+	line := FlowLine("x", &flow.Result{Area: 10, WireLength: 20, Vias: 3, Width: 4, Height: 5})
+	for _, want := range []string{"x", "area=10", "wl=20", "vias=3", "4x5"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("FlowLine missing %q: %s", want, line)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"testing"
+
+	"overcell/internal/geom"
+)
+
+func TestAddAssignsIDs(t *testing.T) {
+	nl := New()
+	a := nl.AddPoints("a", Signal, geom.Pt(0, 0), geom.Pt(5, 5))
+	b := nl.AddPoints("b", Critical, geom.Pt(1, 1), geom.Pt(2, 2))
+	if a.ID != 0 || b.ID != 1 {
+		t.Errorf("IDs = %d,%d; want 0,1", a.ID, b.ID)
+	}
+	if nl.Len() != 2 {
+		t.Errorf("Len = %d", nl.Len())
+	}
+	if nl.Net(1) != b || nl.Net(2) != nil || nl.Net(-1) != nil {
+		t.Error("Net lookup wrong")
+	}
+}
+
+func TestNetBBoxAndHalfPerimeter(t *testing.T) {
+	nl := New()
+	n := nl.AddPoints("n", Signal, geom.Pt(2, 8), geom.Pt(10, 1), geom.Pt(5, 5))
+	if got := n.BBox(); got != geom.R(2, 1, 10, 8) {
+		t.Errorf("BBox = %v", got)
+	}
+	if got := n.HalfPerimeter(); got != 15 {
+		t.Errorf("HalfPerimeter = %d, want 15", got)
+	}
+}
+
+func TestBBoxPanicsOnEmptyNet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty net BBox")
+		}
+	}()
+	n := &Net{}
+	n.BBox()
+}
+
+func TestValidate(t *testing.T) {
+	nl := New()
+	nl.AddPoints("ok", Signal, geom.Pt(0, 0), geom.Pt(1, 1))
+	if err := nl.Validate(); err != nil {
+		t.Errorf("valid netlist rejected: %v", err)
+	}
+
+	bad := New()
+	bad.AddPoints("single", Signal, geom.Pt(0, 0))
+	if err := bad.Validate(); err == nil {
+		t.Error("single-terminal net accepted")
+	}
+
+	dup := New()
+	dup.AddPoints("dup", Signal, geom.Pt(3, 3), geom.Pt(3, 3))
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate-terminal net accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	nl := New()
+	nl.AddPoints("a", Signal, geom.Pt(0, 0), geom.Pt(1, 1))
+	nl.AddPoints("b", Signal, geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(3, 3))
+	s := ComputeStats(nl.Nets())
+	if s.Nets != 2 || s.Pins != 6 || s.MaxPins != 4 || s.TwoTerminal != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.AvgPins != 3.0 {
+		t.Errorf("AvgPins = %v, want 3", s.AvgPins)
+	}
+	empty := ComputeStats(nil)
+	if empty.AvgPins != 0 {
+		t.Errorf("empty AvgPins = %v", empty.AvgPins)
+	}
+}
+
+func TestTotalPins(t *testing.T) {
+	nl := New()
+	nl.AddPoints("a", Signal, geom.Pt(0, 0), geom.Pt(1, 1))
+	nl.AddPoints("b", Signal, geom.Pt(0, 1), geom.Pt(1, 0), geom.Pt(4, 4))
+	if got := nl.TotalPins(); got != 5 {
+		t.Errorf("TotalPins = %d, want 5", got)
+	}
+}
+
+func TestPartitionPolicies(t *testing.T) {
+	nl := New()
+	nl.AddPoints("sig", Signal, geom.Pt(0, 0), geom.Pt(9, 9))
+	nl.AddPoints("crit", Critical, geom.Pt(0, 0), geom.Pt(1, 1))
+	nl.AddPoints("clk", Timing, geom.Pt(0, 0), geom.Pt(2, 2))
+	nl.AddPoints("pwr", Power, geom.Pt(0, 0), geom.Pt(3, 3))
+
+	p := Split(nl, ByClass)
+	if len(p.A) != 2 || len(p.B) != 2 {
+		t.Errorf("ByClass split = %d/%d, want 2/2", len(p.A), len(p.B))
+	}
+	if p.A[0].Name != "crit" || p.A[1].Name != "clk" {
+		t.Errorf("ByClass A = %v,%v", p.A[0].Name, p.A[1].Name)
+	}
+
+	p = Split(nl, AllA)
+	if len(p.A) != 4 || len(p.B) != 0 {
+		t.Errorf("AllA split = %d/%d", len(p.A), len(p.B))
+	}
+	p = Split(nl, AllB)
+	if len(p.A) != 0 || len(p.B) != 4 {
+		t.Errorf("AllB split = %d/%d", len(p.A), len(p.B))
+	}
+
+	p = Split(nl, MaxHalfPerimeter(6))
+	// sig hp=18 -> B; crit hp=2, clk hp=4, pwr hp=6 -> A
+	if len(p.A) != 3 || len(p.B) != 1 || p.B[0].Name != "sig" {
+		t.Errorf("MaxHalfPerimeter split = %d/%d", len(p.A), len(p.B))
+	}
+}
+
+func TestSortByHalfPerimeter(t *testing.T) {
+	nl := New()
+	nl.AddPoints("short", Signal, geom.Pt(0, 0), geom.Pt(1, 1))
+	nl.AddPoints("long", Signal, geom.Pt(0, 0), geom.Pt(50, 50))
+	nl.AddPoints("mid", Signal, geom.Pt(0, 0), geom.Pt(10, 10))
+	nl.AddPoints("tie", Signal, geom.Pt(5, 5), geom.Pt(15, 15)) // same hp as mid
+
+	nets := append([]*Net(nil), nl.Nets()...)
+	SortByHalfPerimeter(nets)
+	gotNames := []string{nets[0].Name, nets[1].Name, nets[2].Name, nets[3].Name}
+	want := []string{"long", "mid", "tie", "short"}
+	for i := range want {
+		if gotNames[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s (full: %v)", i, gotNames[i], want[i], gotNames)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Signal.String() != "signal" || Power.String() != "power" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "class(99)" {
+		t.Errorf("out-of-range class = %q", Class(99).String())
+	}
+}

@@ -1,0 +1,50 @@
+package netlist
+
+// Partition splits a netlist into set A (level A, channel routing on
+// the first two metal layers) and set B (level B, over-cell routing on
+// the next two layers). Entire nets go to one set; see the package
+// comment for why nets are never split.
+type Partition struct {
+	A []*Net
+	B []*Net
+}
+
+// Policy decides, per net, whether it belongs in set A.
+type Policy func(*Net) bool
+
+// ByClass returns the paper's experimental policy: critical and timing
+// nets are routed at level A; everything else goes to level B
+// (section 4: "critical nets and timing nets were routed in level A,
+// while all other nets were routed in level B").
+func ByClass(n *Net) bool {
+	return n.Class == Critical || n.Class == Timing
+}
+
+// AllA routes every net in channels: the conventional two-layer flow
+// used as the paper's baseline.
+func AllA(*Net) bool { return true }
+
+// AllB routes every net over the cells, the channel-free mode of the
+// paper's concluding remarks ("channel areas can be eliminated and the
+// entire set of interconnections can be routed in level B").
+func AllB(*Net) bool { return false }
+
+// MaxHalfPerimeter returns a policy that keeps local interconnections
+// (half-perimeter <= limit) at level A and sends long-distance nets to
+// level B, per the propagation-delay discussion of section 2.
+func MaxHalfPerimeter(limit int) Policy {
+	return func(n *Net) bool { return n.HalfPerimeter() <= limit }
+}
+
+// Split applies the policy to every net of the netlist.
+func Split(nl *Netlist, inA Policy) Partition {
+	var p Partition
+	for _, n := range nl.Nets() {
+		if inA(n) {
+			p.A = append(p.A, n)
+		} else {
+			p.B = append(p.B, n)
+		}
+	}
+	return p
+}

@@ -1,0 +1,153 @@
+// Package paper reconstructs the concrete examples printed in the
+// paper's figures. Figure 1 shows a small level B instance — six
+// vertical tracks v1..v6, four horizontal tracks h1..h4, already
+// routed nets A and C, an obstacle O1 — and its Track Intersection
+// Graph; Figure 2 shows the Path Selection Trees the two MBFS runs
+// build for net B, with three candidate paths of which (v2,h4,v6) wins
+// on corner count; Figure 3 shows the level B routing of ami33.
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"overcell/internal/core"
+	"overcell/internal/flow"
+	"overcell/internal/gen"
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/netlist"
+	"overcell/internal/render"
+	"overcell/internal/tig"
+)
+
+// Figure1 builds the Figure 1 instance. It returns the grid (with nets
+// A and C committed and obstacle O1 placed) and the two terminals of
+// net B: (v2,h2) and (v6,h4).
+func Figure1() (*grid.Grid, tig.Point, tig.Point) {
+	g, err := grid.Uniform(6, 4, 10)
+	if err != nil {
+		panic("paper: figure 1 grid: " + err.Error())
+	}
+	// Net A: a vertical run occupying track v1 entirely.
+	g.CommitVWire(0, geom.Iv(0, 3))
+	// Net C: a vertical run on v6 between h2 and h3, which blocks the
+	// would-be one-corner path (h2,v6) for net B.
+	g.CommitVWire(5, geom.Iv(1, 2))
+	// Obstacle O1 covers the v4 intersection with h3, cutting v4
+	// between h2 and h4: the search may still turn onto v4 from h2 but
+	// cannot continue up to h4 — exactly the dead branch of Figure 2.
+	g.BlockRect(geom.R(30, 20, 30, 20), grid.MaskBoth)
+	from := tig.Point{Col: 1, Row: 1} // edge (h2, v2)
+	to := tig.Point{Col: 5, Row: 3}   // edge (h4, v6)
+	return g, from, to
+}
+
+// Figure1Text renders Figure 1: the instance as ASCII art and the
+// Track Intersection Graph adjacency. Nets A and C are drawn as wires
+// ('|'), the obstacle as '#', and net B's terminals as 'o'.
+func Figure1Text() string {
+	g, from, to := Figure1()
+	// A display-only result so the pre-routed nets and the terminals
+	// show up with wire and terminal glyphs.
+	disp := &core.Result{Routes: []*core.NetRoute{
+		{Net: &netlist.Net{Name: "A"}, Segments: []core.Segment{{Horizontal: false, Track: 0, Lo: 0, Hi: 3}}},
+		{Net: &netlist.Net{Name: "C"}, Segments: []core.Segment{{Horizontal: false, Track: 5, Lo: 1, Hi: 2}}},
+		{Net: &netlist.Net{Name: "B"}, Terminals: []tig.Point{from, to}},
+	}}
+	var b strings.Builder
+	b.WriteString("Figure 1: instance of level B routing (nets A, C routed; obstacle O1)\n")
+	b.WriteString("terminals of net B: " + from.String() + " = (h2,v2), " + to.String() + " = (h4,v6)\n\n")
+	b.WriteString(render.GridASCII(g, disp, 1))
+	b.WriteString("\nTrack Intersection Graph (usable intersections):\n")
+	tg := tig.BuildGraph(g, geom.Iv(0, 5), geom.Iv(0, 3))
+	b.WriteString(tg.AdjacencyList())
+	return b.String()
+}
+
+// Figure2Search runs the two MBFS searches of the paper's walkthrough
+// separately and returns their results: the vertical-track start
+// (finds the one-corner path (v2,h4,v6)) and the horizontal-track
+// start (finds the two two-corner paths (h2,v3,h4,v6) and
+// (h2,v5,h4,v6)).
+func Figure2Search() (fromV, fromH *tig.Result, ok bool) {
+	g, from, to := Figure1()
+	rv, okV := tig.Search(g, from, to, tig.Config{Starts: tig.StartVertical})
+	rh, okH := tig.Search(g, from, to, tig.Config{Starts: tig.StartHorizontal})
+	return rv, rh, okV && okH
+}
+
+// Figure2Text renders Figure 2: both Path Selection Trees and the
+// candidate paths with the selected winner.
+func Figure2Text() string {
+	rv, rh, ok := Figure2Search()
+	var b strings.Builder
+	b.WriteString("Figure 2: Path Selection Trees for net B\n\n")
+	if !ok {
+		b.WriteString("(search failed)\n")
+		return b.String()
+	}
+	b.WriteString("MBFS starting from v2:\n")
+	for _, root := range rv.Trees {
+		b.WriteString(render.TreeASCII(root))
+	}
+	b.WriteString("paths: ")
+	b.WriteString(pathList(rv))
+	b.WriteString("\nMBFS starting from h2:\n")
+	for _, root := range rh.Trees {
+		b.WriteString(render.TreeASCII(root))
+	}
+	b.WriteString("paths: ")
+	b.WriteString(pathList(rh))
+	winner := rv.Paths[0]
+	if rh.Corners < rv.Corners {
+		winner = rh.Paths[0]
+	}
+	fmt.Fprintf(&b, "\nselected: %s with %d corner(s)\n",
+		render.PathASCII(winner), winner.Corners())
+	return b.String()
+}
+
+func pathList(r *tig.Result) string {
+	var names []string
+	for _, p := range r.Paths {
+		names = append(names, render.PathASCII(p))
+	}
+	return strings.Join(names, " ") + "\n"
+}
+
+// Figure3 runs the proposed flow on the ami33-like instance and
+// returns the flow result for rendering.
+func Figure3() (*gen.Instance, *flow.Result, error) {
+	inst, err := gen.Ami33Like()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := flow.Proposed(inst, flow.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, res, nil
+}
+
+// Figure3Text renders Figure 3: the level B routing of the ami33-like
+// instance, downsampled to fit a terminal.
+func Figure3Text() (string, error) {
+	_, res, err := Figure3()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: level B routing of layout example ami33\n\n")
+	b.WriteString(render.GridASCII(res.BGrid, res.LevelB, 4))
+	return b.String(), nil
+}
+
+// Figure3SVG writes Figure 3 as SVG.
+func Figure3SVG(w interface{ Write([]byte) (int, error) }) error {
+	inst, res, err := Figure3()
+	if err != nil {
+		return err
+	}
+	return render.SVG(w, inst.Layout, res.BGrid, res.LevelB)
+}

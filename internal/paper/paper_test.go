@@ -1,0 +1,95 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"overcell/internal/render"
+	"overcell/internal/tig"
+)
+
+func TestFigure1Instance(t *testing.T) {
+	g, from, to := Figure1()
+	if g.NX() != 6 || g.NY() != 4 {
+		t.Fatalf("grid %dx%d, want 6x4", g.NX(), g.NY())
+	}
+	if !g.PointFree(from.Col, from.Row) || !g.PointFree(to.Col, to.Row) {
+		t.Fatal("net B terminals blocked")
+	}
+	// v1 fully occupied by net A, v6 cut by net C, O1 blocks v4's middle.
+	if g.PointFree(0, 2) {
+		t.Error("net A wire missing on v1")
+	}
+	if g.PointFree(3, 2) {
+		t.Error("obstacle O1 missing at (v4,h3)")
+	}
+}
+
+// TestFigure2PaperWalkthrough verifies the exact narrative of section
+// 3.1: "three possible paths can be identified: one path (v2,h4,v6)
+// from the MBFS that started from vertex v2, and two paths
+// (h2,v3,h4,v6) and (h2,v5,h4,v6) from the MBFS that started from
+// vertex h2. The first path is selected because it requires only one
+// corner while the other two paths required two corners."
+func TestFigure2PaperWalkthrough(t *testing.T) {
+	rv, rh, ok := Figure2Search()
+	if !ok {
+		t.Fatal("searches failed")
+	}
+	if len(rv.Paths) != 1 || rv.Corners != 1 {
+		t.Fatalf("v2 search: %d paths, %d corners; want 1 path with 1 corner", len(rv.Paths), rv.Corners)
+	}
+	if got := render.PathASCII(rv.Paths[0]); got != "(v2,h4,v6)" {
+		t.Errorf("v2 path = %s, want (v2,h4,v6)", got)
+	}
+	if len(rh.Paths) != 2 || rh.Corners != 2 {
+		t.Fatalf("h2 search: %d paths, %d corners; want 2 paths with 2 corners", len(rh.Paths), rh.Corners)
+	}
+	got := map[string]bool{}
+	for _, p := range rh.Paths {
+		got[render.PathASCII(p)] = true
+	}
+	if !got["(h2,v3,h4,v6)"] || !got["(h2,v5,h4,v6)"] {
+		t.Errorf("h2 paths = %v, want (h2,v3,h4,v6) and (h2,v5,h4,v6)", got)
+	}
+}
+
+func TestFigure1TextStable(t *testing.T) {
+	txt := Figure1Text()
+	for _, want := range []string{"Figure 1", "v2", "h4", "Track Intersection Graph"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("figure 1 text missing %q", want)
+		}
+	}
+}
+
+func TestFigure2TextSelectsWinner(t *testing.T) {
+	txt := Figure2Text()
+	if !strings.Contains(txt, "selected: (v2,h4,v6) with 1 corner(s)") {
+		t.Errorf("figure 2 selection wrong:\n%s", txt)
+	}
+}
+
+func TestFigure3Renders(t *testing.T) {
+	txt, err := Figure3Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txt) < 1000 {
+		t.Errorf("figure 3 suspiciously small (%d bytes)", len(txt))
+	}
+	if !strings.Contains(txt, "-") || !strings.Contains(txt, "|") {
+		t.Error("figure 3 shows no wires")
+	}
+}
+
+func TestCombinedSearchAgreesWithSplit(t *testing.T) {
+	g, from, to := Figure1()
+	both, ok := tig.Search(g, from, to, tig.Config{})
+	if !ok {
+		t.Fatal("combined search failed")
+	}
+	if both.Corners != 1 {
+		t.Errorf("combined search corners = %d, want 1", both.Corners)
+	}
+}

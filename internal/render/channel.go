@@ -1,0 +1,75 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"overcell/internal/channel"
+)
+
+// ChannelASCII draws a routed channel: the top and bottom pin rows,
+// one text row per track with net numbers on horizontal runs, and '|'
+// for verticals ('*' where a vertical taps a track). Net numbers are
+// printed modulo 10 to keep one character per column.
+func ChannelASCII(p *channel.Problem, s *channel.Solution) string {
+	width := s.Width
+	if p.Width() > width {
+		width = p.Width()
+	}
+	digit := func(net int) byte { return byte('0' + net%10) }
+
+	// Geometry raster: rows 0..Tracks+1 (0 = top pins, Tracks+1 = bottom pins).
+	h := s.Tracks + 2
+	raster := make([][]byte, h)
+	for i := range raster {
+		raster[i] = []byte(strings.Repeat(".", width))
+	}
+	for c := 0; c < p.Width(); c++ {
+		if n := p.Top[c]; n != 0 {
+			raster[0][c] = digit(n)
+		}
+		if n := p.Bottom[c]; n != 0 {
+			raster[h-1][c] = digit(n)
+		}
+	}
+	for _, seg := range s.Horizontals {
+		row := seg.Track + 1
+		for c := seg.Lo; c <= seg.Hi; c++ {
+			raster[row][c] = '-'
+		}
+	}
+	for _, v := range s.Verticals {
+		lo, hi := v.FromTrack+1, v.ToTrack+1
+		if v.TouchTop {
+			lo = 1
+		}
+		if v.TouchBottom {
+			hi = h - 2
+		}
+		for r := lo; r <= hi; r++ {
+			if raster[r][v.Col] == '-' {
+				raster[r][v.Col] = '+'
+			} else if raster[r][v.Col] == '.' {
+				raster[r][v.Col] = '|'
+			}
+		}
+		for _, tap := range v.Taps {
+			raster[tap+1][v.Col] = '*'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "channel: %d tracks, %d columns (%s)\n", s.Tracks, width, s.Algorithm)
+	for i, line := range raster {
+		label := "   "
+		switch {
+		case i == 0:
+			label = "top"
+		case i == h-1:
+			label = "bot"
+		default:
+			label = fmt.Sprintf("t%-2d", i-1)
+		}
+		fmt.Fprintf(&b, "%s %s\n", label, line)
+	}
+	return b.String()
+}

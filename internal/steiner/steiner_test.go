@@ -1,0 +1,183 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"overcell/internal/geom"
+)
+
+func TestMSTSimple(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}}
+	edges, total := MST(pts)
+	if len(edges) != 2 || total != 20 {
+		t.Errorf("MST = %v, total %d; want 2 edges, 20", edges, total)
+	}
+}
+
+func TestMSTDegenerate(t *testing.T) {
+	if e, l := MST(nil); e != nil || l != 0 {
+		t.Error("empty MST wrong")
+	}
+	if e, l := MST([]geom.Point{{X: 1, Y: 1}}); e != nil || l != 0 {
+		t.Error("single-point MST wrong")
+	}
+	e, l := MST([]geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}})
+	if len(e) != 1 || l != 7 {
+		t.Errorf("pair MST = %v,%d", e, l)
+	}
+}
+
+func TestMSTIsSpanning(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		pts := make([]geom.Point, n)
+		seen := map[geom.Point]bool{}
+		for i := range pts {
+			for {
+				p := geom.Pt(rng.Intn(50), rng.Intn(50))
+				if !seen[p] {
+					seen[p] = true
+					pts[i] = p
+					break
+				}
+			}
+		}
+		edges, total := MST(pts)
+		if len(edges) != n-1 {
+			t.Fatalf("MST edges = %d, want %d", len(edges), n-1)
+		}
+		// Union-find connectivity over terminals.
+		idx := map[geom.Point]int{}
+		for i, p := range pts {
+			idx[p] = i
+		}
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		sum := 0
+		for _, e := range edges {
+			parent[find(idx[e.From])] = find(idx[e.To])
+			sum += e.Length()
+		}
+		if sum != total {
+			t.Fatalf("edge sum %d != total %d", sum, total)
+		}
+		root := find(0)
+		for i := 1; i < n; i++ {
+			if find(i) != root {
+				t.Fatal("MST not spanning")
+			}
+		}
+	}
+}
+
+func TestRSTPlusShape(t *testing.T) {
+	// A plus sign: center attach should create Steiner sharing.
+	pts := []geom.Point{{X: 10, Y: 0}, {X: 10, Y: 20}, {X: 0, Y: 10}, {X: 20, Y: 10}}
+	tree := RST(pts)
+	// Optimal Steiner: 40 (a plus through (10,10)). MST is 60.
+	_, mst := MST(pts)
+	if mst != 60 {
+		t.Fatalf("MST = %d, want 60", mst)
+	}
+	if tree.Length > mst {
+		t.Errorf("RST length %d exceeds MST %d", tree.Length, mst)
+	}
+	if tree.Length != 40 {
+		t.Errorf("RST length = %d, want the optimal 40 for the plus", tree.Length)
+	}
+}
+
+func TestRSTDegenerate(t *testing.T) {
+	if tr := RST(nil); tr.Length != 0 || len(tr.Segments) != 0 {
+		t.Error("empty RST wrong")
+	}
+	if tr := RST([]geom.Point{{X: 5, Y: 5}}); tr.Length != 0 {
+		t.Error("single RST wrong")
+	}
+	tr := RST([]geom.Point{{X: 0, Y: 0}, {X: 0, Y: 9}})
+	if tr.Length != 9 || len(tr.Segments) != 1 {
+		t.Errorf("collinear pair RST = %+v", tr)
+	}
+}
+
+func TestRSTBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		seen := map[geom.Point]bool{}
+		pts := make([]geom.Point, 0, n)
+		for len(pts) < n {
+			p := geom.Pt(rng.Intn(40), rng.Intn(40))
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
+			}
+		}
+		tree := RST(pts)
+		_, mst := MST(pts)
+		// Upper bound: each Prim attach distance is at most the distance
+		// to the nearest in-tree terminal, so RST <= MST.
+		// Lower bound: any connected set spanning the terminals covers
+		// the bounding box in projection, so RST >= HPWL.
+		return tree.Length <= mst && tree.Length >= HPWL(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRSTSegmentsAxisParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geom.Point, 8)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Intn(30), rng.Intn(30))
+	}
+	tree := RST(pts)
+	for _, s := range tree.Segments {
+		if s.A.X != s.B.X && s.A.Y != s.B.Y {
+			t.Errorf("diagonal segment %v", s)
+		}
+		if s.A == s.B {
+			t.Errorf("zero-length segment %v", s)
+		}
+	}
+}
+
+func TestSegNearestOn(t *testing.T) {
+	h := Seg{A: geom.Pt(2, 5), B: geom.Pt(10, 5)}
+	if q, d := h.nearestOn(geom.Pt(6, 9)); q != geom.Pt(6, 5) || d != 4 {
+		t.Errorf("nearestOn = %v,%d", q, d)
+	}
+	if q, d := h.nearestOn(geom.Pt(0, 5)); q != geom.Pt(2, 5) || d != 2 {
+		t.Errorf("nearestOn clamp = %v,%d", q, d)
+	}
+	v := Seg{A: geom.Pt(4, 0), B: geom.Pt(4, 8)}
+	if q, d := v.nearestOn(geom.Pt(7, 3)); q != geom.Pt(4, 3) || d != 3 {
+		t.Errorf("vertical nearestOn = %v,%d", q, d)
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	if HPWL(nil) != 0 {
+		t.Error("empty HPWL")
+	}
+	if got := HPWL([]geom.Point{{X: 2, Y: 3}}); got != 0 {
+		t.Errorf("single HPWL = %d", got)
+	}
+	if got := HPWL([]geom.Point{{X: 0, Y: 0}, {X: 5, Y: 7}, {X: 2, Y: 2}}); got != 12 {
+		t.Errorf("HPWL = %d, want 12", got)
+	}
+}

@@ -1,0 +1,416 @@
+// Package tig implements the Track Intersection Graph representation
+// and the modified breadth-first search (MBFS) of Katsadas & Chen
+// (DAC 1990, section 3.1).
+//
+// The solution space of a level B routing problem is an undirected
+// bipartite graph G = (V, E): one vertex per vertical routing track,
+// one per horizontal routing track, and an edge for every track
+// intersection usable for routing. A path is a sequence of alternating
+// horizontal and vertical track segments; every change of track is a
+// corner (a via).
+//
+// For each two-terminal connection, two MBFS runs start from the two
+// tracks of one terminal and share the two tracks of the other
+// terminal as targets. Each non-target vertex is examined at most
+// once, which excludes paths needing more than one corner on the same
+// track — the paper's pruning rule that "improves the quality of the
+// routing and significantly increases the speed of the algorithm". All
+// complete paths with the minimum number of corners are collected in
+// Path Selection Trees for the cost-based selection implemented in
+// internal/core.
+package tig
+
+import (
+	"fmt"
+
+	"overcell/internal/geom"
+)
+
+// Surface is the occupancy oracle the search consults. *grid.Grid
+// implements it; tests may substitute synthetic surfaces.
+type Surface interface {
+	// NX and NY return the number of vertical and horizontal tracks.
+	NX() int
+	NY() int
+	// HClearSpan returns the maximal clear column span on the given
+	// horizontal track that contains col, clipped to bounds; ok is
+	// false when col itself is blocked there.
+	HClearSpan(row, col int, bounds geom.Interval) (geom.Interval, bool)
+	// VClearSpan is the vertical analogue.
+	VClearSpan(col, row int, bounds geom.Interval) (geom.Interval, bool)
+	// PointFree reports whether the grid point is clear on both
+	// layers, i.e. the track intersection is usable for a corner.
+	PointFree(col, row int) bool
+}
+
+// Point is a grid point in track index space.
+type Point struct {
+	Col, Row int
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(c%d,r%d)", p.Col, p.Row) }
+
+// Track identifies one vertex of the Track Intersection Graph.
+type Track struct {
+	Vertical bool // true: vertical track (column), false: horizontal (row)
+	Index    int
+}
+
+// String renders the paper's v_i / h_j vertex naming (1-based, as in
+// Figure 1).
+func (t Track) String() string {
+	if t.Vertical {
+		return fmt.Sprintf("v%d", t.Index+1)
+	}
+	return fmt.Sprintf("h%d", t.Index+1)
+}
+
+// Node is one vertex of a Path Selection Tree: a track reached by the
+// search, the position along the track where it was entered (the
+// corner shared with the parent's track, or the source terminal for a
+// root), and tree links.
+type Node struct {
+	Track    Track
+	Entry    int // row index for vertical tracks, column index for horizontal
+	Level    int // number of corners consumed to enter this track
+	Parent   *Node
+	Children []*Node
+}
+
+// Corner returns the grid point where the node's track was entered.
+// For a root node this is the source terminal itself.
+func (n *Node) Corner() Point {
+	if n.Track.Vertical {
+		return Point{Col: n.Track.Index, Row: n.Entry}
+	}
+	return Point{Col: n.Entry, Row: n.Track.Index}
+}
+
+// Path is one candidate realisation of a two-terminal connection:
+// the source terminal, the corner sequence, and the target terminal,
+// all in track index space. Consecutive points share a column or a
+// row; segments alternate between vertical and horizontal runs.
+type Path struct {
+	Points []Point
+}
+
+// Corners returns the number of direction changes (vias) of the path.
+func (p Path) Corners() int {
+	if len(p.Points) < 3 {
+		return 0
+	}
+	n := 0
+	for i := 1; i < len(p.Points)-1; i++ {
+		a, b, c := p.Points[i-1], p.Points[i], p.Points[i+1]
+		vertIn := a.Col == b.Col && a.Row != b.Row
+		vertOut := b.Col == c.Col && b.Row != c.Row
+		if vertIn != vertOut {
+			n++
+		}
+	}
+	return n
+}
+
+// CornerPoints returns the interior points where the path changes
+// direction.
+func (p Path) CornerPoints() []Point {
+	var out []Point
+	for i := 1; i < len(p.Points)-1; i++ {
+		a, b, c := p.Points[i-1], p.Points[i], p.Points[i+1]
+		vertIn := a.Col == b.Col && a.Row != b.Row
+		vertOut := b.Col == c.Col && b.Row != c.Row
+		if vertIn != vertOut {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of a path: at least two
+// points, endpoints matching from/to, every segment axis-parallel and
+// axes alternating.
+func (p Path) Validate(from, to Point) error {
+	if len(p.Points) < 2 {
+		return fmt.Errorf("tig: path has %d points; need at least 2", len(p.Points))
+	}
+	if p.Points[0] != from {
+		return fmt.Errorf("tig: path starts at %v, want %v", p.Points[0], from)
+	}
+	if p.Points[len(p.Points)-1] != to {
+		return fmt.Errorf("tig: path ends at %v, want %v", p.Points[len(p.Points)-1], to)
+	}
+	for i := 1; i < len(p.Points); i++ {
+		a, b := p.Points[i-1], p.Points[i]
+		if a == b {
+			return fmt.Errorf("tig: zero-length segment at index %d (%v)", i, a)
+		}
+		if a.Col != b.Col && a.Row != b.Row {
+			return fmt.Errorf("tig: diagonal segment %v -> %v", a, b)
+		}
+	}
+	return nil
+}
+
+// Config tunes a search.
+type Config struct {
+	// ColBounds and RowBounds clip the solution space to a window in
+	// track index space (the paper's rectangular region "I_n" defined
+	// by the two terminal locations). Zero-value bounds mean the full
+	// surface.
+	ColBounds, RowBounds geom.Interval
+	// MaxCorners caps the BFS depth. Zero means DefaultMaxCorners.
+	MaxCorners int
+	// RelaxedVisit disables the paper's examine-each-vertex-once rule,
+	// allowing a non-target track to be re-entered at the same BFS
+	// level from a different parent. Used by the ablation benchmarks.
+	RelaxedVisit bool
+	// MaxPaths caps how many minimum-corner paths are collected.
+	// Zero means DefaultMaxPaths.
+	MaxPaths int
+	// Starts selects which of the two MBFS start tracks run. The
+	// default runs both in one level-synchronised frontier, which is
+	// equivalent to the paper's two searches followed by taking the
+	// minimum. Restricting to one start reproduces the per-search path
+	// sets of the paper's Figure 2.
+	Starts Starts
+}
+
+// Starts selects the MBFS start tracks.
+type Starts int
+
+// Start-track choices.
+const (
+	StartBoth Starts = iota
+	StartVertical
+	StartHorizontal
+)
+
+// Search limits.
+const (
+	DefaultMaxCorners = 24
+	DefaultMaxPaths   = 64
+)
+
+// Result holds the outcome of a two-terminal search.
+type Result struct {
+	// Paths are all discovered connections with the minimum corner
+	// count (up to MaxPaths), each beginning at the source terminal
+	// and ending at the target terminal.
+	Paths []Path
+	// Corners is that minimum count.
+	Corners int
+	// Trees are the Path Selection Trees: one root per MBFS start
+	// track (at most two). Retained for cost evaluation and for the
+	// Figure 2 rendering.
+	Trees []*Node
+	// Expanded counts search-tree nodes created, for the complexity
+	// benchmarks.
+	Expanded int
+}
+
+// Search finds all minimum-corner paths from terminal `from` to
+// terminal `to` on s. Both grid points must currently be clear on the
+// surface (the router lifts the net's own terminals and shapes before
+// searching). It returns nil and false when no path exists within the
+// configured window and corner budget.
+func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
+	if from == to {
+		return &Result{Paths: []Path{{Points: []Point{from}}}}, true
+	}
+	cb := cfg.ColBounds
+	rb := cfg.RowBounds
+	if cb == (geom.Interval{}) && rb == (geom.Interval{}) {
+		cb = geom.Iv(0, s.NX()-1)
+		rb = geom.Iv(0, s.NY()-1)
+	}
+	cb = cb.Intersect(geom.Iv(0, s.NX()-1))
+	rb = rb.Intersect(geom.Iv(0, s.NY()-1))
+	if !cb.Contains(from.Col) || !cb.Contains(to.Col) ||
+		!rb.Contains(from.Row) || !rb.Contains(to.Row) {
+		return nil, false
+	}
+	maxCorners := cfg.MaxCorners
+	if maxCorners <= 0 {
+		maxCorners = DefaultMaxCorners
+	}
+	maxPaths := cfg.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+
+	st := &search{
+		s: s, to: to, cb: cb, rb: rb,
+		relaxed:  cfg.RelaxedVisit,
+		maxPaths: maxPaths,
+		visited:  make(map[Track]int),
+	}
+	// Two MBFS runs from the same terminal: one starting on its
+	// vertical track, one on its horizontal track (paper section 3.1).
+	var roots []*Node
+	if cfg.Starts == StartBoth || cfg.Starts == StartVertical {
+		roots = append(roots, &Node{Track: Track{Vertical: true, Index: from.Col}, Entry: from.Row})
+	}
+	if cfg.Starts == StartBoth || cfg.Starts == StartHorizontal {
+		roots = append(roots, &Node{Track: Track{Vertical: false, Index: from.Row}, Entry: from.Col})
+	}
+	for _, root := range roots {
+		st.visited[root.Track] = 0
+	}
+	frontier := append([]*Node(nil), roots...)
+	res := &Result{Trees: roots}
+	for level := 0; len(frontier) > 0 && level <= maxCorners; level++ {
+		var done []Path
+		for _, n := range frontier {
+			if p, ok := st.complete(n, from); ok {
+				done = append(done, p)
+				if len(done) >= maxPaths {
+					break
+				}
+			}
+		}
+		if len(done) > 0 {
+			res.Paths = done
+			res.Corners = done[0].Corners()
+			res.Expanded = st.expanded
+			return res, true
+		}
+		var next []*Node
+		for _, n := range frontier {
+			next = append(next, st.expand(n)...)
+		}
+		frontier = next
+	}
+	res.Expanded = st.expanded
+	return res, false
+}
+
+type search struct {
+	s        Surface
+	to       Point
+	cb, rb   geom.Interval
+	relaxed  bool
+	maxPaths int
+	visited  map[Track]int
+	expanded int
+}
+
+// span returns the maximal clear run of n's track around its entry
+// point, clipped to the search window. ok is false when the entry
+// itself is blocked (cannot happen for well-formed searches, but a
+// root on a blocked terminal degrades to an empty search rather than
+// a panic).
+func (st *search) span(n *Node) (geom.Interval, bool) {
+	if n.Track.Vertical {
+		return st.s.VClearSpan(n.Track.Index, n.Entry, st.rb)
+	}
+	return st.s.HClearSpan(n.Track.Index, n.Entry, st.cb)
+}
+
+// complete reports whether n's track runs straight to the target
+// terminal, and if so reconstructs the full path.
+func (st *search) complete(n *Node, from Point) (Path, bool) {
+	if n.Track.Vertical {
+		if n.Track.Index != st.to.Col {
+			return Path{}, false
+		}
+	} else if n.Track.Index != st.to.Row {
+		return Path{}, false
+	}
+	span, ok := st.span(n)
+	if !ok {
+		return Path{}, false
+	}
+	pos := st.to.Row
+	if !n.Track.Vertical {
+		pos = st.to.Col
+	}
+	if !span.Contains(pos) {
+		return Path{}, false
+	}
+	return reconstruct(n, from, st.to), true
+}
+
+// expand creates the children of n: every perpendicular track crossing
+// n's clear span at a usable intersection, subject to the visit rule.
+func (st *search) expand(n *Node) []*Node {
+	span, ok := st.span(n)
+	if !ok {
+		return nil
+	}
+	var kids []*Node
+	for q := span.Lo; q <= span.Hi; q++ {
+		if q == n.Entry {
+			continue // zero-length run: a corner on top of the previous one
+		}
+		var child Track
+		var entry int
+		var usable bool
+		if n.Track.Vertical {
+			// Corner at (n.Track.Index, q); child is horizontal track q.
+			child = Track{Vertical: false, Index: q}
+			entry = n.Track.Index
+			_, usable = st.s.HClearSpan(q, entry, st.cb)
+		} else {
+			child = Track{Vertical: true, Index: q}
+			entry = n.Track.Index
+			_, usable = st.s.VClearSpan(q, entry, st.rb)
+		}
+		if !usable {
+			continue
+		}
+		if !st.admit(child, n.Level+1) {
+			continue
+		}
+		c := &Node{Track: child, Entry: entry, Level: n.Level + 1, Parent: n}
+		n.Children = append(n.Children, c)
+		kids = append(kids, c)
+		st.expanded++
+	}
+	return kids
+}
+
+// admit applies the examine-each-vertex-once rule: a non-target track
+// already seen at an earlier (or, in strict mode, the same) level is
+// not re-entered. Target tracks are always admitted (the paper's
+// "with the exception of the target vertices").
+func (st *search) admit(t Track, level int) bool {
+	if (t.Vertical && t.Index == st.to.Col) || (!t.Vertical && t.Index == st.to.Row) {
+		return true
+	}
+	if prev, seen := st.visited[t]; seen {
+		if prev < level {
+			return false
+		}
+		if !st.relaxed {
+			return false
+		}
+		return true
+	}
+	st.visited[t] = level
+	return true
+}
+
+// reconstruct walks the parent chain of a completing node and builds
+// the full path from source terminal to target terminal, dropping
+// duplicate consecutive points (for example when the last corner
+// coincides with the target).
+func reconstruct(n *Node, from, to Point) Path {
+	var chain []*Node
+	for c := n; c != nil; c = c.Parent {
+		chain = append(chain, c)
+	}
+	pts := []Point{from}
+	for i := len(chain) - 2; i >= 0; i-- { // skip root: its corner is the terminal
+		pts = append(pts, chain[i].Corner())
+	}
+	pts = append(pts, to)
+	// Dedupe consecutive duplicates.
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return Path{Points: out}
+}

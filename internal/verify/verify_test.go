@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"overcell/internal/core"
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/netlist"
+	"overcell/internal/tig"
+)
+
+func routed(t *testing.T) *core.Result {
+	t.Helper()
+	g, err := grid.Uniform(16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New()
+	nl.AddPoints("a", netlist.Signal, geom.Pt(10, 10), geom.Pt(140, 120))
+	nl.AddPoints("b", netlist.Signal, geom.Pt(140, 10), geom.Pt(10, 120))
+	res, err := core.New(g, core.DefaultConfig()).Route(nl.Nets())
+	if err != nil || res.Failed != 0 {
+		t.Fatalf("route: %v / %d", err, res.Failed)
+	}
+	return res
+}
+
+func TestCleanResultPasses(t *testing.T) {
+	res := routed(t)
+	if err := LevelB(res, nil); err != nil {
+		t.Fatalf("clean result rejected: %v", err)
+	}
+}
+
+func fakeNet(name string, id netlist.NetID) *netlist.Net {
+	return &netlist.Net{ID: id, Name: name}
+}
+
+func TestConflictsCatchesOverlap(t *testing.T) {
+	res := &core.Result{Routes: []*core.NetRoute{
+		{Net: fakeNet("x", 0), Segments: []core.Segment{{Horizontal: true, Track: 3, Lo: 0, Hi: 5}}},
+		{Net: fakeNet("y", 1), Segments: []core.Segment{{Horizontal: true, Track: 3, Lo: 4, Hi: 8}}},
+	}}
+	err := Conflicts(res)
+	if err == nil || !strings.Contains(err.Error(), "wire conflict") {
+		t.Errorf("overlap not caught: %v", err)
+	}
+	// Perpendicular crossing on different layers is legal.
+	ok := &core.Result{Routes: []*core.NetRoute{
+		{Net: fakeNet("x", 0), Segments: []core.Segment{{Horizontal: true, Track: 3, Lo: 0, Hi: 5}}},
+		{Net: fakeNet("y", 1), Segments: []core.Segment{{Horizontal: false, Track: 2, Lo: 0, Hi: 8}}},
+	}}
+	if err := Conflicts(ok); err != nil {
+		t.Errorf("legal crossing rejected: %v", err)
+	}
+}
+
+func TestConflictsCatchesViaOnWire(t *testing.T) {
+	res := &core.Result{Routes: []*core.NetRoute{
+		{Net: fakeNet("x", 0), Segments: []core.Segment{{Horizontal: false, Track: 4, Lo: 0, Hi: 8}}},
+		{Net: fakeNet("y", 1), Vias: []tig.Point{{Col: 4, Row: 5}}},
+	}}
+	if err := Conflicts(res); err == nil {
+		t.Error("via on foreign vertical wire not caught")
+	}
+}
+
+func TestConnectivityCatchesSplit(t *testing.T) {
+	// Two disjoint stubs touching neither terminal pair fully.
+	res := &core.Result{Routes: []*core.NetRoute{{
+		Net:       fakeNet("x", 0),
+		Terminals: []tig.Point{{Col: 0, Row: 0}, {Col: 9, Row: 9}},
+		Segments: []core.Segment{
+			{Horizontal: true, Track: 0, Lo: 0, Hi: 3},
+			{Horizontal: true, Track: 9, Lo: 6, Hi: 9},
+		},
+	}}}
+	if err := Connectivity(res); err == nil {
+		t.Error("split net not caught")
+	}
+}
+
+func TestConnectivityLayerAware(t *testing.T) {
+	// H wire through (5,5) and V wire through (5,5) without a via:
+	// crossing, not connected.
+	res := &core.Result{Routes: []*core.NetRoute{{
+		Net:       fakeNet("x", 0),
+		Terminals: []tig.Point{{Col: 0, Row: 5}, {Col: 5, Row: 0}},
+		Segments: []core.Segment{
+			{Horizontal: true, Track: 5, Lo: 0, Hi: 9},
+			{Horizontal: false, Track: 5, Lo: 0, Hi: 9},
+		},
+	}}}
+	if err := Connectivity(res); err == nil {
+		t.Error("via-less crossing treated as connected")
+	}
+	// Adding the via bridges the layers.
+	res.Routes[0].Vias = []tig.Point{{Col: 5, Row: 5}}
+	if err := Connectivity(res); err != nil {
+		t.Errorf("via-bridged crossing rejected: %v", err)
+	}
+}
+
+func TestConnectivitySkipsFailedNets(t *testing.T) {
+	res := &core.Result{Routes: []*core.NetRoute{{
+		Net:       fakeNet("x", 0),
+		Terminals: []tig.Point{{Col: 0, Row: 0}, {Col: 9, Row: 9}},
+		Err:       errFake{},
+	}}}
+	if err := Connectivity(res); err != nil {
+		t.Errorf("failed net should be skipped: %v", err)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestAvoidsRegions(t *testing.T) {
+	res := &core.Result{Routes: []*core.NetRoute{{
+		Net:      fakeNet("x", 0),
+		Segments: []core.Segment{{Horizontal: true, Track: 5, Lo: 0, Hi: 9}},
+	}}}
+	both := []Region{{Cols: geom.Iv(3, 6), Rows: geom.Iv(4, 6), BlocksH: true, BlocksV: true}}
+	if err := AvoidsRegions(res, both); err == nil {
+		t.Error("wire through exclusion region not caught")
+	}
+	// A V-only region does not forbid horizontal wires.
+	vOnly := []Region{{Cols: geom.Iv(3, 6), Rows: geom.Iv(4, 6), BlocksV: true}}
+	if err := AvoidsRegions(res, vOnly); err != nil {
+		t.Errorf("H wire through V-only region rejected: %v", err)
+	}
+	// Vias are forbidden in any blocked region.
+	res.Routes[0].Vias = []tig.Point{{Col: 5, Row: 5}}
+	if err := AvoidsRegions(res, vOnly); err == nil {
+		t.Error("via inside region not caught")
+	}
+}

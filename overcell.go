@@ -1,0 +1,244 @@
+// Package overcell is the public API of this module: a four-layer
+// macro-cell routing system reproducing Katsadas & Chen, "A
+// Multi-Layer Router Utilizing Over-Cell Areas" (DAC 1990).
+//
+// The methodology routes a macro-cell layout in two levels. Level A
+// routes a selected subset of the nets (typically critical and timing
+// nets) in the channels between cell rows on metal1/metal2, using
+// classic channel routing. The layout geometry is then frozen, and
+// level B routes every remaining net over the entire layout area —
+// including the area above the cells — on metal3/metal4, with a
+// two-dimensional router built on a Track Intersection Graph search
+// that finds all minimum-corner paths and selects among them with a
+// weighted cost function. Arbitrary rectangular obstacles (power
+// rails, sensitive circuitry) are avoided.
+//
+// Quick start:
+//
+//	inst, _ := overcell.Ami33Like()
+//	base, _ := overcell.RunTwoLayerBaseline(inst, overcell.Options{})
+//	inst, _ = overcell.Ami33Like() // flows re-place the layout; use a fresh copy
+//	prop, _ := overcell.RunProposed(inst, overcell.Options{})
+//	fmt.Printf("area: %d -> %d\n", base.Area, prop.Area)
+//
+// The exported names are aliases into the implementation packages, so
+// the full documentation lives on the aliased types.
+package overcell
+
+import (
+	"io"
+
+	"overcell/internal/channel"
+	"overcell/internal/core"
+	"overcell/internal/delay"
+	"overcell/internal/flow"
+	"overcell/internal/gen"
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/metrics"
+	"overcell/internal/netlist"
+	"overcell/internal/render"
+	"overcell/internal/tig"
+)
+
+// Geometry kernel.
+type (
+	// Point is an integer layout coordinate.
+	Point = geom.Point
+	// Rect is an axis-aligned layout rectangle.
+	Rect = geom.Rect
+)
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return geom.Pt(x, y) }
+
+// R builds a canonical rectangle from two corners.
+func R(x0, y0, x1, y1 int) Rect { return geom.R(x0, y0, x1, y1) }
+
+// Netlist model.
+type (
+	// Netlist is an ordered collection of nets.
+	Netlist = netlist.Netlist
+	// Net is one electrical net with two or more terminals.
+	Net = netlist.Net
+	// NetClass tags a net's functional role (signal, critical, ...).
+	NetClass = netlist.Class
+)
+
+// Net classes.
+const (
+	Signal   = netlist.Signal
+	Critical = netlist.Critical
+	Timing   = netlist.Timing
+	Power    = netlist.Power
+	Ground   = netlist.Ground
+)
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist { return netlist.New() }
+
+// Level B routing surface and router (the paper's core contribution).
+type (
+	// Grid is the two-layer over-cell routing surface.
+	Grid = grid.Grid
+	// LayerMask selects grid layers for obstacle insertion.
+	LayerMask = grid.Mask
+	// Router is the level B router.
+	Router = core.Router
+	// RouterConfig tunes the level B router.
+	RouterConfig = core.Config
+	// Weights parameterises the path-selection cost function.
+	Weights = core.Weights
+	// RouteResult is a level B routing run.
+	RouteResult = core.Result
+	// NetRoute is one net's realised geometry.
+	NetRoute = core.NetRoute
+	// GridPoint is a grid point in track index space.
+	GridPoint = tig.Point
+)
+
+// Obstacle layer masks.
+const (
+	MaskH    = grid.MaskH
+	MaskV    = grid.MaskV
+	MaskBoth = grid.MaskBoth
+)
+
+// NewGrid builds a routing grid from explicit track coordinates.
+func NewGrid(xs, ys []int) (*Grid, error) { return grid.New(xs, ys) }
+
+// UniformGrid builds an nx-by-ny grid with constant pitch.
+func UniformGrid(nx, ny, pitch int) (*Grid, error) { return grid.Uniform(nx, ny, pitch) }
+
+// CoverGrid builds a uniform grid covering the rectangle.
+func CoverGrid(r Rect, pitch int) (*Grid, error) { return grid.Cover(r, pitch) }
+
+// NewRouter returns a level B router over g.
+func NewRouter(g *Grid, cfg RouterConfig) *Router { return core.New(g, cfg) }
+
+// DefaultRouterConfig is the paper-faithful configuration: sparse
+// weights (w1=1, w2*=10), longest-distance net ordering.
+func DefaultRouterConfig() RouterConfig { return core.DefaultConfig() }
+
+// SparseWeights and DenseWeights are the paper's two weight presets.
+func SparseWeights() Weights { return core.SparseWeights() }
+
+// DenseWeights raises the congestion terms for dense net
+// distributions.
+func DenseWeights() Weights { return core.DenseWeights() }
+
+// Benchmark instances.
+type (
+	// Instance is a complete benchmark: floorplan, nets, obstacles.
+	Instance = gen.Instance
+	// InstanceParams drives the parametric generator.
+	InstanceParams = gen.Params
+)
+
+// Generate builds a deterministic synthetic instance.
+func Generate(p InstanceParams) (*Instance, error) { return gen.Generate(p) }
+
+// Ami33Like, XeroxLike and Ex3Like build the three evaluation
+// instances, sized after Table 1 of the paper.
+func Ami33Like() (*Instance, error) { return gen.Ami33Like() }
+
+// XeroxLike mirrors the Xerox benchmark statistics.
+func XeroxLike() (*Instance, error) { return gen.XeroxLike() }
+
+// Ex3Like mirrors the industrial ex3 example statistics.
+func Ex3Like() (*Instance, error) { return gen.Ex3Like() }
+
+// Flows.
+type (
+	// Options tunes a flow run.
+	Options = flow.Options
+	// FlowResult reports one flow run.
+	FlowResult = flow.Result
+	// Comparison pairs two flow results over one instance.
+	Comparison = metrics.Comparison
+)
+
+// RunTwoLayerBaseline routes every net in channels on two layers (the
+// paper's baseline).
+func RunTwoLayerBaseline(inst *Instance, opt Options) (*FlowResult, error) {
+	return flow.TwoLayerBaseline(inst, opt)
+}
+
+// RunProposed runs the paper's two-level over-cell methodology.
+func RunProposed(inst *Instance, opt Options) (*FlowResult, error) {
+	return flow.Proposed(inst, opt)
+}
+
+// RunFourLayerChannel runs the optimistic four-layer channel model of
+// the paper's Table 3 (channel heights halved).
+func RunFourLayerChannel(inst *Instance, opt Options) (*FlowResult, error) {
+	return flow.FourLayerChannel(inst, opt)
+}
+
+// RunChannelFree routes every net over the cells with channels
+// collapsed to minimal separation (paper section 5).
+func RunChannelFree(inst *Instance, opt Options) (*FlowResult, error) {
+	return flow.ChannelFree(inst, opt)
+}
+
+// Reduction returns the percent reduction from base to new.
+func Reduction(base, new int64) float64 { return metrics.Reduction(base, new) }
+
+// Rendering helpers.
+
+// RenderASCII draws a level B routing result as ASCII art in track
+// index space, downsampled by step (use 1 for full resolution).
+func RenderASCII(g *Grid, res *RouteResult, step int) string {
+	return render.GridASCII(g, res, step)
+}
+
+// WriteSVG draws an instance's placed layout and the over-cell routing
+// of a flow result as SVG.
+func WriteSVG(w io.Writer, inst *Instance, res *FlowResult) error {
+	return render.SVG(w, inst.Layout, res.BGrid, res.LevelB)
+}
+
+// NetReport formats the per-net level B results as a text table.
+func NetReport(res *RouteResult) string { return render.NetTable(res) }
+
+// Channel routing substrate (level A and the baselines).
+type (
+	// ChannelProblem is a channel routing instance: pins on two edges.
+	ChannelProblem = channel.Problem
+	// ChannelSolution is a routed channel with full geometry.
+	ChannelSolution = channel.Solution
+)
+
+// RouteChannelLeftEdge runs the constrained left-edge algorithm.
+func RouteChannelLeftEdge(p *ChannelProblem) (*ChannelSolution, error) { return channel.LeftEdge(p) }
+
+// RouteChannelDogleg runs the dogleg left-edge algorithm.
+func RouteChannelDogleg(p *ChannelProblem) (*ChannelSolution, error) { return channel.Dogleg(p) }
+
+// RouteChannelNetMerge runs the Yoshimura-Kuh net-merging algorithm.
+func RouteChannelNetMerge(p *ChannelProblem) (*ChannelSolution, error) { return channel.NetMerge(p) }
+
+// RouteChannelGreedy runs the greedy column-scan router (always
+// completes on valid problems).
+func RouteChannelGreedy(p *ChannelProblem) (*ChannelSolution, error) { return channel.Greedy(p) }
+
+// RenderChannelASCII draws a routed channel as text.
+func RenderChannelASCII(p *ChannelProblem, s *ChannelSolution) string {
+	return render.ChannelASCII(p, s)
+}
+
+// Delay estimation (the paper's propagation-delay motivation).
+type (
+	// DelayParams carries the electrical technology parameters.
+	DelayParams = delay.Params
+	// DelayNet describes a routed net for estimation.
+	DelayNet = delay.Net
+	// DelaySummary aggregates per-net delay estimates.
+	DelaySummary = delay.Summary
+)
+
+// DefaultDelayParams returns the built-in electrical parameter set.
+func DefaultDelayParams() DelayParams { return delay.Default() }
+
+// EstimateDelay returns the first-order Elmore delay of a net.
+func EstimateDelay(n DelayNet, p DelayParams) float64 { return delay.Estimate(n, p) }

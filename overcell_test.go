@@ -1,0 +1,129 @@
+package overcell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the documented public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	g, err := UniformGrid(20, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BlockRect(R(80, 80, 120, 120), MaskBoth)
+	nl := NewNetlist()
+	nl.AddPoints("a", Signal, Pt(10, 100), Pt(180, 100))
+	nl.AddPoints("b", Critical, Pt(100, 10), Pt(100, 180))
+	res, err := NewRouter(g, DefaultRouterConfig()).Route(nl.Nets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failed nets: %d", res.Failed)
+	}
+	art := RenderASCII(g, res, 1)
+	if !strings.Contains(art, "#") || !strings.ContainsAny(art, "-|") {
+		t.Error("render missing obstacles or wires")
+	}
+	if NetReport(res) == "" {
+		t.Error("empty net report")
+	}
+}
+
+func TestFacadeFlows(t *testing.T) {
+	inst, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunTwoLayerBaseline(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := RunProposed(inst2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Reduction(base.Area, prop.Area) <= 0 {
+		t.Errorf("no area reduction: %d -> %d", base.Area, prop.Area)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, inst2, prop); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("bad SVG output")
+	}
+}
+
+func TestFacadeWeightsAndGrids(t *testing.T) {
+	if SparseWeights().Drg != 10 || DenseWeights().Drg != 40 {
+		t.Error("weight presets wrong")
+	}
+	if _, err := NewGrid(nil, nil); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	g, err := CoverGrid(R(0, 0, 100, 50), 10)
+	if err != nil || g.NX() != 11 || g.NY() != 6 {
+		t.Errorf("CoverGrid = %dx%d, %v", g.NX(), g.NY(), err)
+	}
+}
+
+func TestFacadeGenerate(t *testing.T) {
+	inst, err := Generate(InstanceParams{
+		Name: "tiny", Seed: 5,
+		Rows: 2, Cells: 6,
+		CellWMin: 200, CellWMax: 300, CellHMin: 120, CellHMax: 160,
+		RowGap: 64, Margin: 48,
+		SignalNets: 20,
+		LevelANets: []int{4, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProposed(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LevelB == nil || res.LevelB.Failed != 0 {
+		t.Error("tiny instance failed to route")
+	}
+}
+
+func TestFacadeChannelSubstrate(t *testing.T) {
+	p := &ChannelProblem{
+		Top:    []int{1, 0, 2, 1},
+		Bottom: []int{0, 1, 0, 2},
+	}
+	for name, run := range map[string]func(*ChannelProblem) (*ChannelSolution, error){
+		"left-edge": RouteChannelLeftEdge,
+		"dogleg":    RouteChannelDogleg,
+		"net-merge": RouteChannelNetMerge,
+		"greedy":    RouteChannelGreedy,
+	} {
+		s, err := run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(p); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		if RenderChannelASCII(p, s) == "" {
+			t.Errorf("%s: empty rendering", name)
+		}
+	}
+}
+
+func TestFacadeDelay(t *testing.T) {
+	p := DefaultDelayParams()
+	slow := EstimateDelay(DelayNet{WireM12: 2000, Vias: 6, Sinks: 3}, p)
+	fast := EstimateDelay(DelayNet{WireM34: 1200, Vias: 2, Sinks: 3}, p)
+	if fast >= slow {
+		t.Errorf("over-cell net not faster: %v vs %v", fast, slow)
+	}
+}
