@@ -1,0 +1,33 @@
+GO ?= go
+OCLINT := $(CURDIR)/bin/oclint
+
+.PHONY: all build test race lint bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# lint runs the standard vet suite and then the repo's own analyzers
+# (maporder, checkedverify, pointkey, staticdrc) through the vettool
+# protocol, exactly as CI does.
+lint: $(OCLINT)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(OCLINT) ./...
+
+$(OCLINT): FORCE
+	$(GO) build -o $(OCLINT) ./cmd/oclint
+
+FORCE:
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	rm -rf bin

@@ -1,0 +1,72 @@
+// Package analysis is the router's custom lint suite: four analyzers
+// that statically enforce the properties the level B router's results
+// depend on — deterministic routing decisions, checked design-rule
+// verification, sound geometry keys and arithmetic, and statically
+// valid router configurations. cmd/oclint wires them into a vettool
+// runnable as `go vet -vettool=$(which oclint) ./...`.
+//
+// The suite encodes the "catch it before you route" discipline of the
+// early-routability literature at the source level: the TIG/MBFS
+// pipeline freezes level A and then commits geometry, so any
+// nondeterminism or unchecked rule violation upstream silently
+// invalidates every reported table.
+package analysis
+
+import (
+	"strings"
+
+	"overcell/internal/analysis/framework"
+)
+
+// modulePath is the import-path root of the repository this suite
+// lints. The analyzers are router-specific by design; scoping them to
+// the module keeps them silent on foreign code a driver might feed
+// them.
+const modulePath = "overcell"
+
+// All returns the full analyzer suite in a stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		MapOrder,
+		CheckedVerify,
+		PointKey,
+		StaticDRC,
+	}
+}
+
+// inScope reports whether the analyzer named name, whose production
+// scope is the given internal package names, should run on the package.
+//
+// Corpus packages under .../testdata/src/<name>/ are bound to their own
+// analyzer only, so one analyzer's corpus can freely contain patterns
+// another analyzer would flag.
+func inScope(pkgPath, name string, scopePkgs []string) bool {
+	path := framework.NormalizePkgPath(pkgPath)
+	if i := strings.Index(path, "/testdata/src/"); i >= 0 {
+		seg := path[i+len("/testdata/src/"):]
+		if j := strings.IndexByte(seg, '/'); j >= 0 {
+			seg = seg[:j]
+		}
+		return seg == name
+	}
+	for _, s := range scopePkgs {
+		if path == modulePath+"/internal/"+s {
+			return true
+		}
+	}
+	return false
+}
+
+// inModule reports whether the package belongs to this repository (any
+// package under the module path), or is a corpus package for name.
+func inModule(pkgPath, name string) bool {
+	path := framework.NormalizePkgPath(pkgPath)
+	if i := strings.Index(path, "/testdata/src/"); i >= 0 {
+		seg := path[i+len("/testdata/src/"):]
+		if j := strings.IndexByte(seg, '/'); j >= 0 {
+			seg = seg[:j]
+		}
+		return seg == name
+	}
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

@@ -1,0 +1,110 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver model, built only on the
+// standard library. The repo's correctness analyzers (internal/analysis)
+// and the cmd/oclint vettool are written against it.
+//
+// The subset implemented here is deliberately small: analyzers are pure
+// functions over a type-checked package, there are no cross-package
+// facts and no analyzer-to-analyzer dependencies. What is kept faithful
+// is the external contract — the `go vet -vettool` separate-compilation
+// protocol (see unitchecker.go) and `// want`-comment driven corpus
+// tests (see the analysistest subpackage) — so the suite behaves like a
+// conventional x/tools checker from the outside.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to a single type-checked package,
+	// reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the parsed and type-checked syntax
+// of a single package and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string // analyzer name, filled in by the driver
+}
+
+// Validate rejects nil or duplicate analyzers before a driver runs.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a == nil || a.Name == "" || a.Run == nil {
+			return fmt.Errorf("framework: invalid analyzer %+v", a)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("framework: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// diagnostics sorted by position. Analyzer errors abort the run.
+func RunAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		p := pass // copy; each analyzer gets its own Report closure
+		p.Analyzer = a
+		p.Report = func(d Diagnostic) {
+			d.Category = a.Name
+			out = append(out, d)
+		}
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// NormalizePkgPath maps the package path variants a build system
+// presents for the same source directory onto the plain import path:
+// the test-binary form "p [p.test]" and the external test package
+// "p_test" both normalize to "p".
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

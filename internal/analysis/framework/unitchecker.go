@@ -1,0 +1,200 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// VetConfig mirrors the JSON compilation-unit description `go vet`
+// hands a vettool in a *.cfg file. Field names are part of the go
+// command's protocol and must not change.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path -> facts file
+	VetxOnly                  bool              // run only to produce facts
+	VetxOutput                string            // where to write the facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit implements the per-package half of the vettool protocol: it
+// reads the config file, type-checks the unit against the compiler
+// export data the go command already produced, runs the analyzers, and
+// exits — 0 when clean, 2 when diagnostics were reported. The go
+// command requires the facts file named by VetxOutput to exist
+// afterwards; this suite keeps no cross-package facts, so an empty file
+// is written.
+func RunUnit(configFile string, analyzers []*Analyzer, jsonOut bool) {
+	cfg, err := readVetConfig(configFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			finish(cfg, nil, nil, jsonOut)
+		}
+		fatalf("%v", err)
+	}
+
+	pkg, info, err := checkUnit(fset, cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			finish(cfg, nil, nil, jsonOut)
+		}
+		fatalf("%v", err)
+	}
+
+	var diags []Diagnostic
+	if !cfg.VetxOnly {
+		pass := Pass{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		diags, err = RunAnalyzers(pass, analyzers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	finish(cfg, fset, diags, jsonOut)
+}
+
+func readVetConfig(filename string) (*VetConfig, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func parseUnit(fset *token.FileSet, cfg *VetConfig) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func checkUnit(fset *token.FileSet, cfg *VetConfig, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	info := NewTypesInfo()
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// finish writes the (empty) facts file, prints diagnostics, and exits.
+func finish(cfg *VetConfig, fset *token.FileSet, diags []Diagnostic, jsonOut bool) {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("failed to write facts file: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	if jsonOut {
+		PrintJSON(os.Stdout, cfg.ID, fset, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		PrintPlain(os.Stderr, fset, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// PrintPlain writes one diagnostic in the conventional
+// file:line:col: message form.
+func PrintPlain(w io.Writer, fset *token.FileSet, d Diagnostic) {
+	posn := fset.Position(d.Pos)
+	fmt.Fprintf(w, "%s: %s\n", posn, d.Message)
+}
+
+// PrintJSON emits the diagnostics grouped by package and analyzer,
+// matching the shape `go vet -json` consumers expect.
+func PrintJSON(w io.Writer, pkgID string, fset *token.FileSet, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Category] = append(byAnalyzer[d.Category], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	tree := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	data, err := json.MarshalIndent(tree, "", "\t")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w.Write(data)
+	fmt.Fprintln(w)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oclint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"overcell/internal/analysis/framework"
+)
+
+// StaticDRC is a constant-propagation pass over router configuration
+// construction sites. Invalid configurations — a zero or negative
+// track pitch, inverted interval bounds, negative search budgets,
+// overlapping reserved obstacle rectangles — all panic or wedge the
+// router at run time today; when the offending values are compile-time
+// constants the violation is provable at analysis time, so it is
+// reported here instead. The checks are structural (by field shape),
+// matching:
+//
+//   - technology literals carrying M12Pitch/M34Pitch track pitches,
+//   - geom.Interval{Lo, Hi} literals and geom.Iv(lo, hi) calls,
+//   - router Weights/Config literals (cost weights and search budgets),
+//   - slice literals of obstacle-like elements carrying constant
+//     X0,Y0,X1,Y1 rectangles, where two reserved rectangles overlap.
+var StaticDRC = &framework.Analyzer{
+	Name: "staticdrc",
+	Doc: "statically reject obviously-invalid router configurations\n\n" +
+		"Constant-propagates over config construction sites: zero track\n" +
+		"pitches, inverted bounds, negative budgets, and overlapping reserved\n" +
+		"obstacle literals are compile-time provable design-rule violations.",
+	Run: runStaticDRC,
+}
+
+func runStaticDRC(pass *framework.Pass) error {
+	if !inModule(pass.Pkg.Path(), "staticdrc") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkTechLit(pass, n)
+				checkIntervalLit(pass, n)
+				checkWeightsLit(pass, n)
+				checkConfigLit(pass, n)
+				checkObstacleSliceLit(pass, n)
+			case *ast.CallExpr:
+				checkIvCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constFields extracts the compile-time-constant fields of a struct
+// composite literal, handling both keyed and positional forms.
+func constFields(pass *framework.Pass, lit *ast.CompositeLit) map[string]constant.Value {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := map[string]constant.Value{}
+	for i, el := range lit.Elts {
+		var name string
+		var value ast.Expr
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name, value = id.Name, kv.Value
+		} else {
+			if i >= st.NumFields() {
+				continue
+			}
+			name, value = st.Field(i).Name(), el
+		}
+		if vtv, ok := pass.TypesInfo.Types[value]; ok && vtv.Value != nil {
+			out[name] = vtv.Value
+		}
+	}
+	return out
+}
+
+func structHasFields(pass *framework.Pass, lit *ast.CompositeLit, names ...string) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	have := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		have[st.Field(i).Name()] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func namedTypeName(pass *framework.Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return ""
+	}
+	if n, ok := tv.Type.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func ltZero(v constant.Value) bool {
+	return constant.Compare(v, token.LSS, constant.MakeInt64(0))
+}
+
+func leZero(v constant.Value) bool {
+	return constant.Compare(v, token.LEQ, constant.MakeInt64(0))
+}
+
+// checkTechLit: technology literals must carry positive pitches, and
+// the level B (M34) pitch is by construction at least the level A
+// (M12) pitch.
+func checkTechLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	if !structHasFields(pass, lit, "M12Pitch", "M34Pitch") {
+		return
+	}
+	fields := constFields(pass, lit)
+	for _, name := range []string{"M12Pitch", "M34Pitch"} {
+		if v, ok := fields[name]; ok && leZero(v) {
+			pass.Reportf(lit.Pos(), "invalid technology: %s = %s, track pitch must be positive", name, v)
+		}
+	}
+	m12, ok12 := fields["M12Pitch"]
+	m34, ok34 := fields["M34Pitch"]
+	if ok12 && ok34 && !leZero(m12) && !leZero(m34) && constant.Compare(m34, token.LSS, m12) {
+		pass.Reportf(lit.Pos(), "invalid technology: M34Pitch %s finer than M12Pitch %s; over-cell tracks cannot be denser than channel tracks", m34, m12)
+	}
+}
+
+// checkIntervalLit: a {Lo, Hi} literal with constant Lo > Hi denotes
+// the empty interval; writing one as a config bound is always a
+// mistake.
+func checkIntervalLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || st.NumFields() != 2 {
+		return
+	}
+	if !structHasFields(pass, lit, "Lo", "Hi") {
+		return
+	}
+	fields := constFields(pass, lit)
+	lo, okLo := fields["Lo"]
+	hi, okHi := fields["Hi"]
+	if okLo && okHi && constant.Compare(lo, token.GTR, hi) {
+		pass.Reportf(lit.Pos(), "inverted interval bounds [%s,%s]: Lo > Hi is the empty interval", lo, hi)
+	}
+}
+
+// checkIvCall applies the same inversion check to the geom.Iv(lo, hi)
+// shorthand.
+func checkIvCall(pass *framework.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Name() != "Iv" {
+		return
+	}
+	loTV, ok1 := pass.TypesInfo.Types[call.Args[0]]
+	hiTV, ok2 := pass.TypesInfo.Types[call.Args[1]]
+	if !ok1 || !ok2 || loTV.Value == nil || hiTV.Value == nil {
+		return
+	}
+	if constant.Compare(loTV.Value, token.GTR, hiTV.Value) {
+		pass.Reportf(call.Pos(), "inverted interval bounds Iv(%s, %s): Lo > Hi is the empty interval", loTV.Value, hiTV.Value)
+	}
+}
+
+// checkWeightsLit: the cost function C = w1·wl + Σ(w21·drg + w22·dup +
+// w23·acf) assumes non-negative weights — selectBest prunes on partial
+// sums being valid lower bounds, which a negative term breaks.
+func checkWeightsLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	if namedTypeName(pass, lit) != "Weights" || !structHasFields(pass, lit, "WL", "Window") {
+		return
+	}
+	for name, v := range constFields(pass, lit) {
+		if ltZero(v) {
+			pass.Reportf(lit.Pos(), "invalid router weights: %s = %s, cost weights must be non-negative (path pruning assumes a monotone partial sum)", name, v)
+		}
+	}
+}
+
+// checkConfigLit: search budgets are counts; negative values are
+// invalid (zero means "use the default" throughout the router).
+func checkConfigLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	if namedTypeName(pass, lit) != "Config" || !structHasFields(pass, lit, "MaxCorners", "MaxPaths") {
+		return
+	}
+	fields := constFields(pass, lit)
+	for _, name := range []string{"MaxCorners", "MaxPaths", "RipupVictims"} {
+		if v, ok := fields[name]; ok && ltZero(v) {
+			pass.Reportf(lit.Pos(), "invalid router config: %s = %s, budget must be non-negative (0 selects the default)", name, v)
+		}
+	}
+}
+
+// rect is a constant rectangle recovered from a literal.
+type rect struct {
+	x0, y0, x1, y1 int64
+	pos            token.Pos
+}
+
+// checkObstacleSliceLit: inside one slice/array literal of
+// obstacle-like elements, two fully-constant reserved rectangles that
+// overlap describe a double-booked region — the router would treat the
+// union as blocked, and the redundancy is always a spec error.
+func checkObstacleSliceLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return
+	}
+	var rects []rect
+	for _, el := range lit.Elts {
+		if r, ok := constRect(pass, el); ok {
+			rects = append(rects, r)
+		}
+	}
+	for i := 0; i < len(rects); i++ {
+		if rects[i].x1 < rects[i].x0 || rects[i].y1 < rects[i].y0 {
+			pass.Reportf(rects[i].pos, "inverted obstacle rectangle (%d,%d)-(%d,%d)", rects[i].x0, rects[i].y0, rects[i].x1, rects[i].y1)
+			continue
+		}
+		for j := 0; j < i; j++ {
+			a, b := rects[j], rects[i]
+			if a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1 {
+				pass.Reportf(b.pos, "obstacle rectangle (%d,%d)-(%d,%d) overlaps earlier reserved rectangle (%d,%d)-(%d,%d)",
+					b.x0, b.y0, b.x1, b.y1, a.x0, a.y0, a.x1, a.y1)
+			}
+		}
+	}
+}
+
+// constRect recovers a constant rectangle from a slice element: either
+// a rect-shaped literal itself ({X0,Y0,X1,Y1} fields), possibly behind
+// &, or an obstacle-like struct literal whose "Rect" field is one.
+func constRect(pass *framework.Pass, el ast.Expr) (rect, bool) {
+	if un, ok := el.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		el = un.X
+	}
+	cl, ok := el.(*ast.CompositeLit)
+	if !ok {
+		return rect{}, false
+	}
+	if structHasFields(pass, cl, "X0", "Y0", "X1", "Y1") {
+		return rectFromFields(pass, cl)
+	}
+	// Obstacle-like wrapper: find the Rect field's literal.
+	for _, e := range cl.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Rect" {
+			if inner, ok := kv.Value.(*ast.CompositeLit); ok && structHasFields(pass, inner, "X0", "Y0", "X1", "Y1") {
+				return rectFromFields(pass, inner)
+			}
+		}
+	}
+	return rect{}, false
+}
+
+func rectFromFields(pass *framework.Pass, cl *ast.CompositeLit) (rect, bool) {
+	fields := constFields(pass, cl)
+	get := func(name string) (int64, bool) {
+		v, ok := fields[name]
+		if !ok {
+			return 0, false
+		}
+		n, exact := constant.Int64Val(v)
+		return n, exact
+	}
+	r := rect{pos: cl.Pos()}
+	var ok bool
+	if r.x0, ok = get("X0"); !ok {
+		return rect{}, false
+	}
+	if r.y0, ok = get("Y0"); !ok {
+		return rect{}, false
+	}
+	if r.x1, ok = get("X1"); !ok {
+		return rect{}, false
+	}
+	if r.y1, ok = get("Y1"); !ok {
+		return rect{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,25 @@
+// Package checkedverify is the analysistest corpus for the
+// checkedverify analyzer: dropped errors from verification calls.
+package checkedverify
+
+import "errors"
+
+type result struct{ ok bool }
+
+// verifyConflicts mimics internal/verify: the last result is an error
+// that decides whether the routed geometry is rule-clean.
+func verifyConflicts(r result) error {
+	if !r.ok {
+		return errors.New("conflict")
+	}
+	return nil
+}
+
+func route() (result, error) { return result{ok: true}, nil }
+
+func bad() {
+	r, _ := route()
+	verifyConflicts(r)     // want `result of verifyConflicts dropped: last result is an error`
+	_ = verifyConflicts(r) // want `error from verifyConflicts discarded with blank identifier`
+	go verifyConflicts(r)  // want `go result of verifyConflicts dropped`
+}

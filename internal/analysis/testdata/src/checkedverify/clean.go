@@ -1,0 +1,18 @@
+package checkedverify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// good checks the verification error and uses the two exempt drop
+// idioms: console printing and formatting into an in-memory builder.
+func good(r result) error {
+	if err := verifyConflicts(r); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ok: %v", r.ok)
+	fmt.Println(sb.String())
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package maporder is the analysistest corpus for the maporder
+// analyzer: `range` over maps in routing decision code.
+package maporder
+
+// pickTrack chooses the cheapest candidate track. Iterating the map
+// directly makes the tie-break depend on randomized iteration order.
+func pickTrack(cands map[int]int) int {
+	best := -1
+	for t, cost := range cands { // want `range over map cands in routing code: iteration order is nondeterministic`
+		if best < 0 || cost < cands[best] {
+			best = t
+		}
+	}
+	return best
+}
+
+// firstFree returns some free row — which one depends on map order.
+func firstFree(free map[int]bool) int {
+	for row, ok := range free { // want `range over map free in routing code`
+		if ok {
+			return row
+		}
+	}
+	return -1
+}
+
+// collectUnsorted gathers keys but never sorts them, so the exemption
+// for the append-then-sort idiom does not apply.
+func collectUnsorted(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `range over map m in routing code`
+		keys = append(keys, k)
+	}
+	return keys
+}

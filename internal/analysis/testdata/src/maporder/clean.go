@@ -1,0 +1,43 @@
+package maporder
+
+import "sort"
+
+// sortedKeys is the canonical deterministic idiom: collect, then sort
+// in the same function.
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// size binds neither key nor value; iterations are indistinguishable.
+func size(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// total is a pure commutative accumulation: order-insensitive.
+func total(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// countLong mixes a guard with a commutative update; still exempt.
+func countLong(m map[int]string) int {
+	n := 0
+	for _, s := range m {
+		if len(s) > 8 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+package pointkey
+
+// Pt is an exact integer grid point: a sound map key.
+type Pt struct{ Col, Row int }
+
+var vias map[Pt]bool
+
+// widen never truncates.
+func widen(i int32) int { return int(i) }
+
+// index stays in full-width integer arithmetic.
+func index(p Pt, w int) int { return p.Row*w + p.Col }
+
+// constant conversions are range-checked by the compiler already.
+func smallConst() int8 { return int8(127) }

@@ -1,0 +1,17 @@
+package staticdrc
+
+var (
+	goodTech = Tech{M12Pitch: 8, M34Pitch: 8}
+	fullIv   = Iv(0, 63)
+	spanIv   = Interval{Lo: 2, Hi: 5}
+	goodW    = Weights{WL: 1, Window: 0.5}
+
+	// A negative RipupPasses is a legitimate ablation switch (disable
+	// rip-up outright), so it is exempt from the budget check.
+	ablation = Config{MaxCorners: 6, MaxPaths: 64, RipupPasses: -1}
+
+	goodObstacles = []Obstacle{
+		{Rect: Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}},
+		{Rect: Rect{X0: 11, Y0: 0, X1: 20, Y1: 10}},
+	}
+)

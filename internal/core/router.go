@@ -75,8 +75,8 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	// Register every terminal before any routing: terminals block both
 	// layers (their via stacks) and feed the unrouted-terminal
 	// proximity term of the cost function.
-	for _, pts := range termPts {
-		for _, p := range pts {
+	for _, net := range nets {
+		for _, p := range termPts[net.ID] {
 			r.g.MarkTerminal(p.Col, p.Row)
 		}
 	}

@@ -90,19 +90,44 @@ func (s *shape) addPath(p tig.Path, isTerminal func(tig.Point) bool) {
 	}
 }
 
+// sortedTracks returns the map's track keys in ascending order. Every
+// iteration over s.h / s.v goes through it (or through an equivalent
+// sorted collection) so that commit order, cost decisions, and reported
+// geometry never depend on Go's randomized map iteration order — the
+// level B results must be byte-identical run to run.
+func sortedTracks(m map[int]*geom.IntervalSet) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sortedVias returns the via points in ascending (Col, Row) order, for
+// the same determinism reasons as sortedTracks.
+func (s *shape) sortedVias() []tig.Point {
+	out := make([]tig.Point, 0, len(s.vias))
+	for p := range s.vias {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessPoint(out[i], out[j]) })
+	return out
+}
+
 // commit writes the whole shape into the grid occupancy.
 func (s *shape) commit(g *grid.Grid) {
-	for row, set := range s.h {
-		for _, iv := range set.Intervals() {
+	for _, row := range sortedTracks(s.h) {
+		for _, iv := range s.h[row].Intervals() {
 			g.CommitHWire(row, iv)
 		}
 	}
-	for col, set := range s.v {
-		for _, iv := range set.Intervals() {
+	for _, col := range sortedTracks(s.v) {
+		for _, iv := range s.v[col].Intervals() {
 			g.CommitVWire(col, iv)
 		}
 	}
-	for p := range s.vias {
+	for _, p := range s.sortedVias() {
 		g.CommitVia(p.Col, p.Row)
 	}
 }
@@ -110,17 +135,17 @@ func (s *shape) commit(g *grid.Grid) {
 // lift removes the whole shape from the grid occupancy, making the
 // net's own metal transparent while the net is extended or re-routed.
 func (s *shape) lift(g *grid.Grid) {
-	for row, set := range s.h {
-		for _, iv := range set.Intervals() {
+	for _, row := range sortedTracks(s.h) {
+		for _, iv := range s.h[row].Intervals() {
 			g.LiftHWire(row, iv)
 		}
 	}
-	for col, set := range s.v {
-		for _, iv := range set.Intervals() {
+	for _, col := range sortedTracks(s.v) {
+		for _, iv := range s.v[col].Intervals() {
 			g.LiftVWire(col, iv)
 		}
 	}
-	for p := range s.vias {
+	for _, p := range s.sortedVias() {
 		g.LiftVia(p.Col, p.Row)
 	}
 }
@@ -128,13 +153,13 @@ func (s *shape) lift(g *grid.Grid) {
 // wireLength returns the total metal length in layout units.
 func (s *shape) wireLength(g *grid.Grid) int {
 	total := 0
-	for _, set := range s.h {
-		for _, iv := range set.Intervals() {
+	for _, row := range sortedTracks(s.h) {
+		for _, iv := range s.h[row].Intervals() {
 			total += g.SpanLengthX(iv.Lo, iv.Hi)
 		}
 	}
-	for _, set := range s.v {
-		for _, iv := range set.Intervals() {
+	for _, col := range sortedTracks(s.v) {
+		for _, iv := range s.v[col].Intervals() {
 			total += g.SpanLengthY(iv.Lo, iv.Hi)
 		}
 	}
@@ -152,21 +177,21 @@ func (s *shape) nearestPoint(p tig.Point) (tig.Point, int, bool) {
 			best, bestD = q, d
 		}
 	}
-	for row, set := range s.h {
-		for _, iv := range set.Intervals() {
+	for _, row := range sortedTracks(s.h) {
+		for _, iv := range s.h[row].Intervals() {
 			col := geom.Clamp(p.Col, iv.Lo, iv.Hi)
 			q := tig.Point{Col: col, Row: row}
 			consider(q, geom.Abs(p.Col-col)+geom.Abs(p.Row-row))
 		}
 	}
-	for col, set := range s.v {
-		for _, iv := range set.Intervals() {
+	for _, col := range sortedTracks(s.v) {
+		for _, iv := range s.v[col].Intervals() {
 			row := geom.Clamp(p.Row, iv.Lo, iv.Hi)
 			q := tig.Point{Col: col, Row: row}
 			consider(q, geom.Abs(p.Col-col)+geom.Abs(p.Row-row))
 		}
 	}
-	for q := range s.vias {
+	for _, q := range s.sortedVias() {
 		consider(q, geom.Abs(p.Col-q.Col)+geom.Abs(p.Row-q.Row))
 	}
 	if bestD < 0 {
@@ -178,23 +203,23 @@ func (s *shape) nearestPoint(p tig.Point) (tig.Point, int, bool) {
 // intersects reports whether any of the shape's metal lies inside the
 // index-space window.
 func (s *shape) intersects(cols, rows geom.Interval) bool {
-	for row, set := range s.h {
+	for _, row := range sortedTracks(s.h) {
 		if !rows.Contains(row) {
 			continue
 		}
-		if set.Overlaps(cols) {
+		if s.h[row].Overlaps(cols) {
 			return true
 		}
 	}
-	for col, set := range s.v {
+	for _, col := range sortedTracks(s.v) {
 		if !cols.Contains(col) {
 			continue
 		}
-		if set.Overlaps(rows) {
+		if s.v[col].Overlaps(rows) {
 			return true
 		}
 	}
-	for p := range s.vias {
+	for _, p := range s.sortedVias() {
 		if cols.Contains(p.Col) && rows.Contains(p.Row) {
 			return true
 		}
@@ -221,22 +246,12 @@ func (s *shape) containsPoint(p tig.Point) bool {
 // for the public result type.
 func (s *shape) segments() []Segment {
 	var out []Segment
-	rows := make([]int, 0, len(s.h))
-	for row := range s.h {
-		rows = append(rows, row)
-	}
-	sort.Ints(rows)
-	for _, row := range rows {
+	for _, row := range sortedTracks(s.h) {
 		for _, iv := range s.h[row].Intervals() {
 			out = append(out, Segment{Horizontal: true, Track: row, Lo: iv.Lo, Hi: iv.Hi})
 		}
 	}
-	cols := make([]int, 0, len(s.v))
-	for col := range s.v {
-		cols = append(cols, col)
-	}
-	sort.Ints(cols)
-	for _, col := range cols {
+	for _, col := range sortedTracks(s.v) {
 		for _, iv := range s.v[col].Intervals() {
 			out = append(out, Segment{Horizontal: false, Track: col, Lo: iv.Lo, Hi: iv.Hi})
 		}
@@ -246,12 +261,7 @@ func (s *shape) segments() []Segment {
 
 // viaPoints returns the via points in a deterministic order.
 func (s *shape) viaPoints() []tig.Point {
-	out := make([]tig.Point, 0, len(s.vias))
-	for p := range s.vias {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return lessPoint(out[i], out[j]) })
-	return out
+	return s.sortedVias()
 }
 
 func lessPoint(a, b tig.Point) bool {

@@ -1,0 +1,77 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"overcell/internal/core"
+	"overcell/internal/gen"
+	"overcell/internal/tig"
+)
+
+// routeRecord is the serialisable reduction of one net's level B
+// geometry, used to compare whole routing runs byte for byte.
+type routeRecord struct {
+	Net        string
+	Terminals  []tig.Point
+	Segments   []core.Segment
+	Vias       []tig.Point
+	WireLength int
+	Corners    int
+	Failed     bool
+}
+
+func serialiseLevelB(t *testing.T, res *Result) []byte {
+	t.Helper()
+	if res.LevelB == nil {
+		t.Fatal("flow result has no level B routing")
+	}
+	var recs []routeRecord
+	for _, nr := range res.LevelB.Routes {
+		recs = append(recs, routeRecord{
+			Net:        nr.Net.Name,
+			Terminals:  nr.Terminals,
+			Segments:   nr.Segments,
+			Vias:       nr.Vias,
+			WireLength: nr.WireLength,
+			Corners:    nr.Corners,
+			Failed:     nr.Err != nil,
+		})
+	}
+	data, err := json.Marshal(struct {
+		Area       int64
+		WireLength int
+		Vias       int
+		Expanded   int
+		Routes     []routeRecord
+	}{res.Area, res.WireLength, res.Vias, res.LevelB.Expanded, recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestProposedFlowDeterministic is the regression test behind the
+// maporder analyzer: routing the same instance twice with fresh
+// routers must produce byte-identical serialised results. Before the
+// sorted-iteration fixes in internal/core this flaked whenever Go's
+// randomized map order changed a commit or tie-break decision.
+func TestProposedFlowDeterministic(t *testing.T) {
+	run := func() []byte {
+		inst, err := gen.Ex3Like()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Proposed(inst, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serialiseLevelB(t, res)
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical flow runs produced different geometry:\nrun 1: %s\nrun 2: %s", a, b)
+	}
+}

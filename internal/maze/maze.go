@@ -56,7 +56,7 @@ func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 	idx := func(s state) int {
 		return (int(s.layer)*h+(s.row-rows.Lo))*w + (s.col - cols.Lo)
 	}
-	prev := make([]int32, 2*w*h)
+	prev := make([]int, 2*w*h)
 	for i := range prev {
 		prev[i] = -1
 	}
@@ -70,7 +70,7 @@ func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 	}
 	queue := make([]state, 0, len(starts))
 	for _, s := range starts {
-		prev[idx(s)] = int32(idx(s)) // self-parent marks the roots
+		prev[idx(s)] = idx(s) // self-parent marks the roots
 		queue = append(queue, s)
 		res.Expanded++
 	}
@@ -114,7 +114,7 @@ func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 			} else if !g.PointFree(nxt.col, nxt.row) {
 				continue // a via needs the point clear on both layers
 			}
-			prev[idx(nxt)] = int32(idx(cur))
+			prev[idx(nxt)] = idx(cur)
 			res.Expanded++
 			if nxt.col == to.Col && nxt.row == to.Row {
 				goal = nxt
@@ -133,7 +133,7 @@ func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 
 // backtrace walks the parent pointers from the goal to a root and
 // compresses the cell sequence into corner points.
-func backtrace(prev []int32, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
+func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
 	unidx := func(i int) state {
 		layer := grid.Layer(i / (w * h))
 		rem := i % (w * h)
@@ -151,10 +151,10 @@ func backtrace(prev []int32, goal state, w, h int, cols, rows geom.Interval, idx
 			cells = append(cells, p)
 		}
 		pi := prev[idx(cur)]
-		if int(pi) == idx(cur) {
+		if pi == idx(cur) {
 			break // root
 		}
-		cur = unidx(int(pi))
+		cur = unidx(pi)
 	}
 	// Reverse into source->target order.
 	for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {

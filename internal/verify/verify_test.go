@@ -118,6 +118,101 @@ type errFake struct{}
 
 func (errFake) Error() string { return "fake" }
 
+func TestConflictsCatchesTerminalStack(t *testing.T) {
+	// A terminal stack occupies both layers at its point, so it
+	// conflicts with any foreign metal there: a horizontal wire, a
+	// vertical wire, a via, or another net's terminal.
+	cases := []struct {
+		name string
+		kind string // expected conflict kind in the error
+		at   *core.NetRoute
+	}{
+		{
+			name: "terminal vs horizontal wire",
+			kind: "terminal",
+			at: &core.NetRoute{Net: fakeNet("y", 1),
+				Terminals: []tig.Point{{Col: 3, Row: 2}}},
+		},
+		{
+			name: "terminal vs vertical wire",
+			kind: "terminal",
+			at: &core.NetRoute{Net: fakeNet("y", 1),
+				Terminals: []tig.Point{{Col: 7, Row: 4}}},
+		},
+		{
+			name: "terminal vs via",
+			kind: "terminal",
+			at: &core.NetRoute{Net: fakeNet("y", 1),
+				Terminals: []tig.Point{{Col: 8, Row: 8}}},
+		},
+		{
+			name: "terminal vs terminal",
+			kind: "terminal",
+			at: &core.NetRoute{Net: fakeNet("y", 1),
+				Terminals: []tig.Point{{Col: 9, Row: 9}}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Net x owns: an H wire on row 2 cols 0-5, a V wire on col 7
+			// rows 0-5, a via at (8,8), and a terminal at (9,9).
+			x := &core.NetRoute{
+				Net: fakeNet("x", 0),
+				Segments: []core.Segment{
+					{Horizontal: true, Track: 2, Lo: 0, Hi: 5},
+					{Horizontal: false, Track: 7, Lo: 0, Hi: 5},
+				},
+				Vias:      []tig.Point{{Col: 8, Row: 8}},
+				Terminals: []tig.Point{{Col: 9, Row: 9}},
+			}
+			err := Conflicts(&core.Result{Routes: []*core.NetRoute{x, tc.at}})
+			if err == nil {
+				t.Fatalf("%s not caught", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.kind+" conflict") {
+				t.Errorf("wrong conflict kind: %v", err)
+			}
+		})
+	}
+	// The same terminal positions on the SAME net are legal: a net's
+	// wire must reach its own terminals.
+	same := &core.Result{Routes: []*core.NetRoute{{
+		Net:       fakeNet("x", 0),
+		Segments:  []core.Segment{{Horizontal: true, Track: 2, Lo: 0, Hi: 5}},
+		Terminals: []tig.Point{{Col: 0, Row: 2}, {Col: 5, Row: 2}},
+	}}}
+	if err := Conflicts(same); err != nil {
+		t.Errorf("own terminals on own wire rejected: %v", err)
+	}
+}
+
+func TestConflictsIncludesFailedNetPartialGeometry(t *testing.T) {
+	// A failed net's partial tree is committed metal: Conflicts must
+	// treat it exactly like routed geometry, even though Connectivity
+	// skips it.
+	failed := &core.NetRoute{
+		Net:      fakeNet("broken", 0),
+		Segments: []core.Segment{{Horizontal: true, Track: 3, Lo: 0, Hi: 6}},
+		Err:      errFake{},
+	}
+	clash := &core.NetRoute{
+		Net:      fakeNet("y", 1),
+		Segments: []core.Segment{{Horizontal: true, Track: 3, Lo: 5, Hi: 9}},
+	}
+	err := Conflicts(&core.Result{Routes: []*core.NetRoute{failed, clash}})
+	if err == nil || !strings.Contains(err.Error(), "wire conflict") {
+		t.Errorf("failed net's committed metal not checked: %v", err)
+	}
+	// Connectivity still skips it, but Conflicts ran: LevelB on a
+	// result with only the failed net reports no error (partial metal
+	// alone conflicts with nothing, and a failed net's broken tree is
+	// not a connectivity violation).
+	alone := &core.Result{Routes: []*core.NetRoute{failed}, Failed: 1}
+	if err := LevelB(alone, nil); err != nil {
+		t.Errorf("failed net alone should verify clean: %v", err)
+	}
+}
+
 func TestAvoidsRegions(t *testing.T) {
 	res := &core.Result{Routes: []*core.NetRoute{{
 		Net:      fakeNet("x", 0),
