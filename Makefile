@@ -1,7 +1,7 @@
 GO ?= go
 OCLINT := $(CURDIR)/bin/oclint
 
-.PHONY: all build test race lint bench clean
+.PHONY: all build test race lint bench bench-json clean
 
 all: build lint test
 
@@ -28,6 +28,12 @@ FORCE:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json snapshots the perf trajectory as BENCH_<TAG>.json (see
+# cmd/benchjson); commit the file alongside the change it baselines.
+TAG ?= dev
+bench-json:
+	$(GO) run ./cmd/benchjson -tag $(TAG) -runs 3
 
 clean:
 	rm -rf bin

@@ -1,0 +1,52 @@
+package overcell
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"overcell/internal/obs"
+)
+
+// TestCommittedBenchFiles guards the perf-trajectory snapshots: every
+// BENCH_<tag>.json in the repository root must parse and validate with
+// obs.ReadBench, carry the tag its filename claims, and include the
+// traced/untraced overhead pair cmd/benchjson always emits.
+func TestCommittedBenchFiles(t *testing.T) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no BENCH_*.json snapshots committed; run `make bench-json`")
+	}
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := obs.ReadBench(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		wantTag := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		if bf.Tag != wantTag {
+			t.Errorf("%s: tag = %q, want %q", path, bf.Tag, wantTag)
+		}
+		names := map[string]bool{}
+		for _, b := range bf.Benchmarks {
+			if names[b.Name] {
+				t.Errorf("%s: duplicate benchmark %q", path, b.Name)
+			}
+			names[b.Name] = true
+		}
+		for _, want := range []string{"proposed/ami33/untraced", "proposed/ami33/traced"} {
+			if !names[want] {
+				t.Errorf("%s: missing overhead workload %q", path, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Command benchjson measures the repository's headline workloads and
+// writes the results as a machine-readable JSON file, one snapshot of
+// the performance trajectory per tag:
+//
+//	benchjson -tag pr2                 writes BENCH_pr2.json
+//	benchjson -tag dev -runs 3         best-of-3 timings
+//	benchjson -o /tmp/out.json
+//
+// Unlike `go test -bench`, the output is a stable, diffable document
+// (obs.BenchFile) meant to be committed alongside the change that
+// produced it, so regressions show up in review as JSON diffs. The
+// workloads mirror the root benchmarks: the Table 2 flow comparison on
+// all three instances, the channel-free variant, the maze-vs-TIG
+// search comparison, and a traced-vs-untraced pair quantifying the
+// observability overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"overcell/internal/flow"
+	"overcell/internal/gen"
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/maze"
+	"overcell/internal/metrics"
+	"overcell/internal/obs"
+	"overcell/internal/tig"
+)
+
+func main() {
+	tag := flag.String("tag", "dev", "snapshot tag (becomes BENCH_<tag>.json)")
+	out := flag.String("o", "", "output file (default BENCH_<tag>.json)")
+	runs := flag.Int("runs", 1, "timing runs per workload; the fastest is kept")
+	flag.Parse()
+	if *runs < 1 {
+		*runs = 1
+	}
+	if *out == "" {
+		*out = "BENCH_" + *tag + ".json"
+	}
+
+	file := obs.BenchFile{
+		Tag:         *tag,
+		GoVersion:   runtime.Version(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, b := range workloads() {
+		entry, err := measure(b, *runs)
+		if err != nil {
+			die(fmt.Errorf("%s: %w", b.name, err))
+		}
+		file.Benchmarks = append(file.Benchmarks, entry)
+		fmt.Printf("%-28s %12d ns/op %10d allocs/op\n", entry.Name, entry.NsPerOp, entry.AllocsPerOp)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	if err := obs.WriteBench(f, &file); err != nil {
+		die(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// workload is one measured unit: fn runs the work once and returns
+// result metrics to attach to the entry.
+type workload struct {
+	name string
+	fn   func() (map[string]float64, error)
+}
+
+// measure times a workload runs times, keeping the fastest run's
+// wall time and its allocation delta (runtime.ReadMemStats before and
+// after, after a forced GC so prior garbage is not charged to us).
+func measure(b workload, runs int) (obs.BenchEntry, error) {
+	entry := obs.BenchEntry{Name: b.name, Runs: runs}
+	for i := 0; i < runs; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		m, err := b.fn()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return entry, err
+		}
+		ns := elapsed.Nanoseconds()
+		if i == 0 || ns < entry.NsPerOp {
+			entry.NsPerOp = ns
+			entry.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+			entry.AllocsPerOp = after.Mallocs - before.Mallocs
+			entry.Metrics = m
+		}
+	}
+	return entry, nil
+}
+
+func workloads() []workload {
+	var ws []workload
+	for _, m := range []struct {
+		name string
+		mk   func() (*gen.Instance, error)
+	}{
+		{"ami33", gen.Ami33Like},
+		{"xerox", gen.XeroxLike},
+		{"ex3", gen.Ex3Like},
+	} {
+		mk := m.mk
+		ws = append(ws, workload{"table2/" + m.name, func() (map[string]float64, error) {
+			base, err := runFlow(mk, flow.TwoLayerBaseline, flow.Options{})
+			if err != nil {
+				return nil, err
+			}
+			prop, err := runFlow(mk, flow.Proposed, flow.Options{})
+			if err != nil {
+				return nil, err
+			}
+			c := metrics.Comparison{Base: base, New: prop}
+			return map[string]float64{
+				"area-red-pct": c.AreaReduction(),
+				"wire-red-pct": c.WireReduction(),
+				"via-red-pct":  c.ViaReduction(),
+				"expanded":     float64(prop.LevelB.Expanded),
+			}, nil
+		}})
+	}
+	ws = append(ws, workload{"channelfree/ami33", func() (map[string]float64, error) {
+		base, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cf, err := runFlow(gen.Ami33Like, flow.ChannelFree, flow.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c := metrics.Comparison{Base: base, New: cf}
+		return map[string]float64{
+			"area-red-pct": c.AreaReduction(),
+			"expanded":     float64(cf.LevelB.Expanded),
+		}, nil
+	}})
+	// The overhead pair: the same flow with tracing off and with a
+	// collector attached. Comparing the two ns/op values in the JSON is
+	// the standing regression check on observability cost.
+	ws = append(ws, workload{"proposed/ami33/untraced", func() (map[string]float64, error) {
+		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil
+	}})
+	ws = append(ws, workload{"proposed/ami33/traced", func() (map[string]float64, error) {
+		col := obs.NewCollector()
+		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{Tracer: col})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{
+			"expanded": float64(res.LevelB.Expanded),
+			"events":   float64(col.Events()),
+		}, nil
+	}})
+	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
+	return ws
+}
+
+func runFlow(mk func() (*gen.Instance, error),
+	f func(*gen.Instance, flow.Options) (*flow.Result, error), opt flow.Options) (*flow.Result, error) {
+	inst, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	return f(inst, opt)
+}
+
+// mazeVsTIG mirrors BenchmarkMazeVsTIG: identical two-terminal
+// connections on an obstacle field solved by both searches, comparing
+// nodes expanded per connection.
+func mazeVsTIG() (map[string]float64, error) {
+	g, err := grid.Uniform(96, 96, 10)
+	if err != nil {
+		return nil, err
+	}
+	// A deterministic obstacle field and connection set (LCG so the
+	// workload never depends on math/rand defaults).
+	seed := uint64(21)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	for k := 0; k < 12; k++ {
+		x, y := next(80)+5, next(80)+5
+		g.BlockRect(geom.R(x*10, y*10, (x+next(8))*10, (y+next(8))*10), grid.MaskBoth)
+	}
+	var conns [][2]tig.Point
+	for len(conns) < 60 {
+		a := tig.Point{Col: next(96), Row: next(96)}
+		c := tig.Point{Col: next(96), Row: next(96)}
+		if a == c || !g.PointFree(a.Col, a.Row) || !g.PointFree(c.Col, c.Row) {
+			continue
+		}
+		conns = append(conns, [2]tig.Point{a, c})
+	}
+	full := tig.Config{ColBounds: geom.Iv(0, 95), RowBounds: geom.Iv(0, 95)}
+	cb, rb := geom.Iv(0, 95), geom.Iv(0, 95)
+	tigNodes, mazeNodes, solved := 0, 0, 0
+	for _, c := range conns {
+		tr, tok := tig.Search(g, c[0], c[1], full)
+		mr, mok := maze.Route(g, c[0], c[1], cb, rb)
+		if !tok || !mok {
+			continue
+		}
+		solved++
+		tigNodes += tr.Expanded
+		mazeNodes += mr.Expanded
+	}
+	if solved == 0 {
+		return nil, fmt.Errorf("no connection solved by both searches")
+	}
+	return map[string]float64{
+		"connections":     float64(solved),
+		"tig-nodes/conn":  float64(tigNodes) / float64(solved),
+		"maze-nodes/conn": float64(mazeNodes) / float64(solved),
+	}, nil
+}

@@ -4,22 +4,35 @@
 //	benchgen -name xerox | ocroute -flow proposed
 //	ocroute -in chip.json -flow baseline
 //	ocroute -in chip.json -flow proposed -svg routed.svg -nets
+//	ocroute -in chip.json -stats -trace run.ndjson -heatmap heat.svg
 //
 // Flows: baseline (all nets in two-layer channels), proposed (the
 // paper's over-cell methodology), channel4 (optimistic four-layer
 // channel model), channelfree (everything over the cells).
+//
+// Observability: -trace streams every routing event as NDJSON, -stats
+// prints the aggregate collector summary (search expansions,
+// escalations, rip-up outcomes, phase times), -heatmap writes the
+// per-window congestion map of the level B grid (SVG when the file
+// ends in .svg, ASCII otherwise), and -cpuprofile/-memprofile write
+// standard pprof profiles.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"overcell/internal/flow"
 	"overcell/internal/gen"
 	"overcell/internal/metrics"
+	"overcell/internal/obs"
 	"overcell/internal/render"
 )
 
@@ -28,7 +41,13 @@ func main() {
 	flowName := flag.String("flow", "proposed", "flow: baseline, proposed, channel4, channelfree, all")
 	svg := flag.String("svg", "", "write the routed layout as SVG to this file")
 	dump := flag.String("dump", "", "write the full level B geometry as text to this file")
-	nets := flag.Bool("nets", false, "print the per-net level B table")
+	nets := flag.Bool("nets", false, "print the per-net level B table (wire, vias, expanded, escalations, failures)")
+	trace := flag.String("trace", "", "stream routing events as NDJSON to this file")
+	stats := flag.Bool("stats", false, "print the aggregated routing statistics summary")
+	heatmap := flag.String("heatmap", "", "write the level B congestion heatmap to this file (.svg for SVG, anything else for ASCII)")
+	heatwin := flag.Int("heatwin", 8, "heatmap window size in tracks")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -45,12 +64,45 @@ func main() {
 		die(err)
 	}
 
+	var collector *obs.Collector
+	var tracers []obs.Tracer
+	if *stats {
+		collector = obs.NewCollector()
+		tracers = append(tracers, collector)
+	}
+	var traceBuf *bufio.Writer
+	var traceWriter *obs.Writer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		traceBuf = bufio.NewWriter(f)
+		traceWriter = obs.NewWriter(traceBuf)
+		tracers = append(tracers, traceWriter)
+	}
+	opts := flow.Options{Tracer: obs.Combine(tracers...)}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	flows := map[string]func(*gen.Instance, flow.Options) (*flow.Result, error){
 		"baseline":    flow.TwoLayerBaseline,
 		"proposed":    flow.Proposed,
 		"channel4":    flow.FourLayerChannel,
 		"channelfree": flow.ChannelFree,
 	}
+	var res *flow.Result
 	if *flowName == "all" {
 		// Flows re-place the shared layout, so each runs on a fresh copy
 		// decoded from the serialised instance.
@@ -63,31 +115,65 @@ func main() {
 			if err != nil {
 				die(err)
 			}
-			res, err := flows[name](copyInst, flow.Options{})
+			res, err = flows[name](copyInst, opts)
 			if err != nil {
 				die(fmt.Errorf("%s: %w", name, err))
 			}
 			fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
 		}
-		return
-	}
-	run, ok := flows[*flowName]
-	if !ok {
-		die(fmt.Errorf("unknown flow %q", *flowName))
-	}
-	res, err := run(inst, flow.Options{})
-	if err != nil {
-		die(err)
-	}
-	fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
-	if res.LevelB != nil {
-		fmt.Printf("level B: %d nets, %d corners, %d search nodes expanded\n",
-			len(res.LevelB.Routes), res.LevelB.Corners, res.LevelB.Expanded)
-		if *nets {
-			fmt.Print(render.NetTable(res.LevelB))
+	} else {
+		run, ok := flows[*flowName]
+		if !ok {
+			die(fmt.Errorf("unknown flow %q", *flowName))
+		}
+		res, err = run(inst, opts)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
+		if res.LevelB != nil {
+			fmt.Printf("level B: %d nets, %d corners, %d search nodes expanded\n",
+				len(res.LevelB.Routes), res.LevelB.Corners, res.LevelB.Expanded)
+			if *nets {
+				fmt.Print(render.NetTable(res.LevelB))
+			}
 		}
 	}
-	if *dump != "" && res.LevelB != nil {
+
+	if traceWriter != nil {
+		if err := traceWriter.Err(); err != nil {
+			die(err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *trace, traceWriter.Events())
+	}
+	if collector != nil {
+		fmt.Print(collector.Summary())
+	}
+	if *heatmap != "" {
+		if res == nil || res.BGrid == nil {
+			die(fmt.Errorf("flow %q has no level B grid to map; use -flow proposed or channelfree", *flowName))
+		}
+		h := obs.CollectHeatmap(res.BGrid, *heatwin)
+		f, err := os.Create(*heatmap)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*heatmap, ".svg") {
+			err = render.HeatmapSVG(f, h)
+		} else {
+			_, err = io.WriteString(f, render.HeatmapASCII(h))
+		}
+		if err != nil {
+			die(err)
+		}
+		c, r, occ := h.Hottest()
+		fmt.Printf("wrote %s (hottest tile (%d,%d) occ=%.2f)\n", *heatmap, c, r, occ)
+	}
+	if *dump != "" && res != nil && res.LevelB != nil {
 		f, err := os.Create(*dump)
 		if err != nil {
 			die(err)
@@ -98,7 +184,7 @@ func main() {
 		}
 		fmt.Println("wrote", *dump)
 	}
-	if *svg != "" {
+	if *svg != "" && res != nil {
 		f, err := os.Create(*svg)
 		if err != nil {
 			die(err)
@@ -108,6 +194,17 @@ func main() {
 			die(err)
 		}
 		fmt.Println("wrote", *svg)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			die(err)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"overcell/internal/flow"
 	"overcell/internal/gen"
 	"overcell/internal/metrics"
+	"overcell/internal/obs"
 )
 
 var makers = []struct {
@@ -27,9 +28,19 @@ var makers = []struct {
 	{"ex3", gen.Ex3Like},
 }
 
+// runOpts is threaded through every flow invocation so -stats can
+// aggregate routing events across all table runs.
+var runOpts flow.Options
+
 func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, channelfree, delay, all")
+	stats := flag.Bool("stats", false, "print aggregated routing statistics after the tables")
 	flag.Parse()
+	var collector *obs.Collector
+	if *stats {
+		collector = obs.NewCollector()
+		runOpts.Tracer = collector
+	}
 	switch *table {
 	case "1":
 		table1()
@@ -54,6 +65,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)
+	}
+	if collector != nil {
+		fmt.Println()
+		fmt.Print(collector.Summary())
 	}
 }
 
@@ -88,24 +103,24 @@ func table1() {
 }
 
 func runPair(mk func() (*gen.Instance, error),
-	base, new func(*gen.Instance, flow.Options) (*flow.Result, error)) (metrics.Comparison, error) {
+	base, after func(*gen.Instance, flow.Options) (*flow.Result, error)) (metrics.Comparison, error) {
 	ib, err := mk()
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
-	rb, err := base(ib, flow.Options{})
+	rb, err := base(ib, runOpts)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
-	in, err := mk()
+	ia, err := mk()
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
-	rn, err := new(in, flow.Options{})
+	ra, err := after(ia, runOpts)
 	if err != nil {
 		return metrics.Comparison{}, err
 	}
-	return metrics.Comparison{Base: rb, New: rn}, nil
+	return metrics.Comparison{Base: rb, New: ra}, nil
 }
 
 func table2() {

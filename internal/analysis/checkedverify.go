@@ -10,8 +10,10 @@ import (
 
 // checkedverifyScope: the flow assembly and the level B router — the
 // two places that call into internal/verify and whose dropped errors
-// turn a design-rule violation into silently corrupt geometry.
-var checkedverifyScope = []string{"flow", "core"}
+// turn a design-rule violation into silently corrupt geometry. The
+// obs package rides along: a dropped encoder error there silently
+// truncates a trace file.
+var checkedverifyScope = []string{"flow", "core", "obs"}
 
 // CheckedVerify flags call sites in the flow/router packages that drop
 // a trailing error result:

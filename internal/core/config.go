@@ -17,6 +17,7 @@ package core
 
 import (
 	"overcell/internal/netlist"
+	"overcell/internal/obs"
 )
 
 // Weights parameterises the path-selection cost function.
@@ -119,6 +120,10 @@ type Config struct {
 	// RipupVictims caps how many committed nets one recovery attempt
 	// may lift (0 = DefaultRipupVictims).
 	RipupVictims int
+	// Tracer receives the router's structured events (net attempts,
+	// MBFS searches, escalations, rip-up outcomes). Nil disables
+	// tracing at no cost to the search hot path.
+	Tracer obs.Tracer
 }
 
 // Rip-up recovery defaults.
@@ -152,6 +157,10 @@ var DefaultExpansions = []int{1, 4, 16, -1}
 // weights, longest-distance ordering.
 func DefaultConfig() Config {
 	return Config{Weights: SparseWeights(), Order: LongestFirst}
+}
+
+func (c *Config) tracer() obs.Tracer {
+	return obs.OrNop(c.Tracer)
 }
 
 func (c *Config) expansions() []int {

@@ -124,13 +124,17 @@ func (e *costEvaluator) cost(p tig.Path) float64 {
 // non-negative, so the partial sum is a valid lower bound). This is
 // the flat equivalent of the paper's depth-first search with bounding
 // over the Path Selection Trees. Ties break toward the earlier
-// candidate, which keeps the router deterministic.
-func (e *costEvaluator) selectBest(paths []tig.Path) (tig.Path, float64) {
+// candidate, which keeps the router deterministic. The third return is
+// the number of candidates the bound abandoned before full evaluation,
+// reported through the obs.EvSelect event.
+func (e *costEvaluator) selectBest(paths []tig.Path) (tig.Path, float64, int) {
 	best := paths[0]
 	bestCost := e.cost(paths[0])
+	prunes := 0
 	for _, p := range paths[1:] {
 		partial := e.base(p)
 		if partial >= bestCost {
+			prunes++
 			continue
 		}
 		pruned := false
@@ -141,9 +145,11 @@ func (e *costEvaluator) selectBest(paths []tig.Path) (tig.Path, float64) {
 				break
 			}
 		}
-		if !pruned && partial < bestCost {
+		if pruned {
+			prunes++
+		} else if partial < bestCost {
 			best, bestCost = p, partial
 		}
 	}
-	return best, bestCost
+	return best, bestCost, prunes
 }

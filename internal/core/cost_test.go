@@ -81,7 +81,7 @@ func TestSelectBestPrefersUncoupledPath(t *testing.T) {
 	// Length-only: both L shapes cost the same; the tie keeps the
 	// first candidate.
 	plain := newCostEvaluator(g, LengthOnlyWeights())
-	if best, _ := plain.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 17, Row: 6}) {
+	if best, _, _ := plain.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 17, Row: 6}) {
 		t.Error("tie-break changed: expected the first candidate")
 	}
 	// With the coupling term the distant path wins despite coming
@@ -89,7 +89,7 @@ func TestSelectBestPrefersUncoupledPath(t *testing.T) {
 	w := LengthOnlyWeights()
 	w.Coupling = 1
 	coupled := newCostEvaluator(g, w)
-	if best, _ := coupled.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 2, Row: 12}) {
+	if best, _, _ := coupled.selectBest([]tig.Path{adjacent, distant}); best.Points[1] != (tig.Point{Col: 2, Row: 12}) {
 		t.Error("coupling term did not steer selection away from the parallel run")
 	}
 }

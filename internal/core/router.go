@@ -7,6 +7,7 @@ import (
 	"overcell/internal/geom"
 	"overcell/internal/grid"
 	"overcell/internal/netlist"
+	"overcell/internal/obs"
 	"overcell/internal/tig"
 )
 
@@ -32,6 +33,15 @@ type NetRoute struct {
 	// Corners is the total number of direction changes over all
 	// two-terminal connections of the net.
 	Corners int
+	// Expanded counts the search-tree nodes created by the routing
+	// attempt that produced this route (the per-net share of
+	// Result.Expanded's cumulative total).
+	Expanded int
+	// Escalations counts the completion-ladder steps the attempt
+	// consumed beyond the initial window, over all of the net's
+	// two-terminal connections; 0 means every connection completed in
+	// its first bounding-box window.
+	Escalations int
 	// Err is non-nil when the net could not be completed; Segments
 	// then holds whatever partial tree was committed.
 	Err error
@@ -55,11 +65,12 @@ type Result struct {
 type Router struct {
 	g   *grid.Grid
 	cfg Config
+	tr  obs.Tracer
 }
 
 // New returns a router over g.
 func New(g *grid.Grid, cfg Config) *Router {
-	return &Router{g: g, cfg: cfg}
+	return &Router{g: g, cfg: cfg, tr: cfg.tracer()}
 }
 
 // Route routes the given nets and commits their metal to the grid.
@@ -85,8 +96,8 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	ordered := orderNets(nets, r.cfg.Order)
 	routes := make(map[netlist.NetID]*NetRoute, len(nets))
 	shapes := make(map[netlist.NetID]*shape, len(nets))
-	for _, net := range ordered {
-		nr, sh := r.routeNet(net, termPts[net.ID], eval, res)
+	for rank, net := range ordered {
+		nr, sh := r.routeNet(net, termPts[net.ID], eval, res, rank+1)
 		routes[net.ID] = nr
 		shapes[net.ID] = sh
 	}
@@ -113,13 +124,24 @@ func (r *Router) recover(ordered []*netlist.Net, termPts map[netlist.NetID][]tig
 	eval *costEvaluator, res *Result) {
 	for pass := 0; pass < r.cfg.ripupPasses(); pass++ {
 		progress := false
+		attempts := 0
 		for _, net := range ordered {
 			if routes[net.ID].Err == nil {
 				continue
 			}
+			attempts++
 			if r.retryWithRipup(net, ordered, termPts, routes, shapes, eval, res) {
 				progress = true
 			}
+		}
+		if r.tr.Enabled() {
+			failed := 0
+			for _, net := range ordered {
+				if routes[net.ID].Err != nil {
+					failed++
+				}
+			}
+			r.tr.Emit(obs.Event{Type: obs.EvRipupPass, Step: pass, Victims: attempts, Paths: failed})
 		}
 		if !progress {
 			return
@@ -195,7 +217,7 @@ func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
 	}
 	// The stuck net routes first into the freed window, then the
 	// victims re-route in their original serial order.
-	nr, sh := r.routeNet(net, terms, eval, res)
+	nr, sh := r.routeNet(net, terms, eval, res, 0)
 	routes[net.ID], shapes[net.ID] = nr, sh
 	lifted := make(map[netlist.NetID]bool, len(victims))
 	for _, v := range victims {
@@ -205,10 +227,14 @@ func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
 		if !lifted[cand.ID] {
 			continue
 		}
-		vnr, vsh := r.routeNet(cand, termPts[cand.ID], eval, res)
+		vnr, vsh := r.routeNet(cand, termPts[cand.ID], eval, res, 0)
 		routes[cand.ID], shapes[cand.ID] = vnr, vsh
 	}
-	return routes[net.ID].Err == nil
+	ok := routes[net.ID].Err == nil
+	if r.tr.Enabled() {
+		r.tr.Emit(obs.Event{Type: obs.EvRipup, Net: net.Name, Victims: len(victims), Failed: !ok})
+	}
+	return ok
 }
 
 // liftNet removes a net's committed metal from the grid (its terminal
@@ -265,9 +291,13 @@ func (r *Router) snapTerminals(nets []*netlist.Net) (map[netlist.NetID][]tig.Poi
 // routeNet realises one net: its terminals are lifted out of the
 // blockage, its two-terminal connections are routed one by one (Prim
 // order for multi-terminal nets), and the accumulated shape is
-// committed back to the grid.
-func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluator, res *Result) (*NetRoute, *shape) {
+// committed back to the grid. rank is the 1-based serial routing
+// position, or 0 for rip-up retries.
+func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluator, res *Result, rank int) (*NetRoute, *shape) {
 	nr := &NetRoute{Net: net, Terminals: terms}
+	if r.tr.Enabled() {
+		r.tr.Emit(obs.Event{Type: obs.EvNetStart, Net: net.Name, Rank: rank, Terminals: len(terms)})
+	}
 	// The net's own terminal stacks must be transparent to its own
 	// search.
 	for _, p := range terms {
@@ -286,6 +316,13 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 		nr.Segments = sh.segments()
 		nr.Vias = sh.viaPoints()
 		nr.WireLength = sh.wireLength(r.g)
+		if r.tr.Enabled() {
+			r.tr.Emit(obs.Event{
+				Type: obs.EvNetDone, Net: net.Name, Wire: nr.WireLength,
+				Vias: len(nr.Vias), Corners: nr.Corners, Expanded: nr.Expanded,
+				Escalated: nr.Escalations, Failed: nr.Err != nil,
+			})
+		}
 	}()
 
 	if len(terms) < 2 {
@@ -329,7 +366,7 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 		if sh.containsPoint(p) {
 			continue // tree already passes through this terminal
 		}
-		path, err := r.connect(p, bestTarget, eval, res)
+		path, err := r.connect(nr, p, bestTarget, eval, res)
 		if err != nil {
 			nr.Err = fmt.Errorf("core: net %q: %w", net.Name, err)
 			return nr, sh
@@ -361,7 +398,7 @@ func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *cost
 				}
 			}
 		}
-		path, err := r.connect(terms[bestJ], terms[bestI], eval, res)
+		path, err := r.connect(nr, terms[bestJ], terms[bestI], eval, res)
 		if err != nil {
 			nr.Err = fmt.Errorf("core: net %q: %w", nr.Net.Name, err)
 			return
@@ -381,7 +418,7 @@ func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *cost
 // only when "the solution space for level B routing guarantees 100%
 // routing completion"; the relaxed retry recovers the connections the
 // fast strict search misses in dense pin pockets.
-func (r *Router) connect(from, to tig.Point, eval *costEvaluator, res *Result) (tig.Path, error) {
+func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, res *Result) (tig.Path, error) {
 	if from == to {
 		return tig.Path{Points: []tig.Point{from}}, nil
 	}
@@ -396,19 +433,33 @@ func (r *Router) connect(from, to tig.Point, eval *costEvaluator, res *Result) (
 		sr, ok := tig.Search(r.g, from, to, cfg)
 		if sr != nil {
 			res.Expanded += sr.Expanded
+			nr.Expanded += sr.Expanded
 		}
 		if !ok {
 			return tig.Path{}, false
 		}
-		best, _ := eval.selectBest(sr.Paths)
+		best, _, pruned := eval.selectBest(sr.Paths)
+		if r.tr.Enabled() {
+			r.tr.Emit(obs.Event{
+				Type: obs.EvSelect, Net: nr.Net.Name, Paths: len(sr.Paths),
+				Pruned: pruned, Corners: best.Corners(),
+			})
+		}
 		return best, true
 	}
 
-	for _, m := range r.cfg.expansions() {
+	for step, m := range r.cfg.expansions() {
+		if step > 0 {
+			nr.Escalations++
+			if r.tr.Enabled() {
+				r.tr.Emit(obs.Event{Type: obs.EvEscalate, Net: nr.Net.Name, Step: step + 1, Margin: m})
+			}
+		}
 		cfg := tig.Config{
 			MaxCorners:   r.cfg.MaxCorners,
 			RelaxedVisit: r.cfg.RelaxedVisit,
 			MaxPaths:     r.cfg.MaxPaths,
+			Tracer:       r.cfg.Tracer,
 		}
 		if m >= 0 {
 			cfg.ColBounds = geom.Iv(colLo-m, colHi+m).Intersect(fullCols)
@@ -422,11 +473,19 @@ func (r *Router) connect(from, to tig.Point, eval *costEvaluator, res *Result) (
 		}
 	}
 	if !r.cfg.RelaxedVisit {
+		nr.Escalations++
+		if r.tr.Enabled() {
+			r.tr.Emit(obs.Event{
+				Type: obs.EvEscalate, Net: nr.Net.Name,
+				Step: len(r.cfg.expansions()) + 1, Margin: -1, Relaxed: true,
+			})
+		}
 		relaxed := tig.Config{
 			ColBounds: fullCols, RowBounds: fullRows,
 			RelaxedVisit: true,
 			MaxCorners:   geom.Max(2*tig.DefaultMaxCorners, r.cfg.MaxCorners),
 			MaxPaths:     r.cfg.MaxPaths,
+			Tracer:       r.cfg.Tracer,
 		}
 		if p, ok := attempt(relaxed); ok {
 			return p, nil

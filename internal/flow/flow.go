@@ -22,6 +22,7 @@ package flow
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"overcell/internal/channel"
 	"overcell/internal/core"
@@ -31,6 +32,7 @@ import (
 	"overcell/internal/global"
 	"overcell/internal/grid"
 	"overcell/internal/netlist"
+	"overcell/internal/obs"
 	"overcell/internal/verify"
 )
 
@@ -60,13 +62,35 @@ type Options struct {
 	// "layout area allocated for channels can be controlled through
 	// the net partitioning process".
 	Partition func(gen.NetSpec) bool
+	// Tracer receives the flow's phase timing events and is threaded
+	// into the level B router (unless Core already carries its own
+	// tracer). Nil disables tracing.
+	Tracer obs.Tracer
 }
 
 func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
 	if o.Core != nil {
-		return *o.Core
+		cfg = *o.Core
 	}
-	return core.DefaultConfig()
+	if cfg.Tracer == nil {
+		cfg.Tracer = o.Tracer
+	}
+	return cfg
+}
+
+// phase brackets one flow phase with obs events and returns the
+// closure that emits the matching phase_end with the wall time.
+func phase(tr obs.Tracer, name string) func() {
+	t := obs.OrNop(tr)
+	if !t.Enabled() {
+		return func() {}
+	}
+	t.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: name})
+	start := time.Now()
+	return func() {
+		t.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: name, DurNS: time.Since(start).Nanoseconds()})
+	}
 }
 
 // Result reports one flow run.
@@ -103,7 +127,9 @@ type levelAResult struct {
 	delays []float64
 }
 
-func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, algo ChannelAlgo) (*levelAResult, error) {
+func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options) (*levelAResult, error) {
+	defer phase(opt.Tracer, "level-a")()
+	algo := opt.Channel
 	l := inst.Layout
 	// Provisional placement: x-coordinates are all global assignment
 	// needs, and they are independent of channel heights.
@@ -187,7 +213,7 @@ func empty(p *channel.Problem) bool {
 
 // TwoLayerBaseline routes every net in the channels.
 func TwoLayerBaseline(inst *gen.Instance, opt Options) (*Result, error) {
-	la, err := routeLevelA(inst, nil, opt.Channel)
+	la, err := routeLevelA(inst, nil, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +240,7 @@ func TwoLayerBaseline(inst *gen.Instance, opt Options) (*Result, error) {
 // area is meaningful; wire length and vias are inherited from the
 // two-layer routing as an approximation.
 func FourLayerChannel(inst *gen.Instance, opt Options) (*Result, error) {
-	la, err := routeLevelA(inst, nil, opt.Channel)
+	la, err := routeLevelA(inst, nil, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +271,7 @@ func Proposed(inst *gen.Instance, opt Options) (*Result, error) {
 	if inA == nil {
 		inA = gen.NetSpec.LevelA
 	}
-	la, err := routeLevelA(inst, inA, opt.Channel)
+	la, err := routeLevelA(inst, inA, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +349,10 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 			}
 		}
 	}
+	endB := phase(opt.Tracer, "level-b")
 	router := core.New(g, opt.coreConfig())
 	cres, err := router.Route(nl.Nets())
+	endB()
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +374,10 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 			BlocksV: o.Mask&grid.MaskV != 0,
 		})
 	}
-	if err := verify.LevelB(cres, regions); err != nil {
+	endV := phase(opt.Tracer, "verify")
+	err = verify.LevelB(cres, regions)
+	endV()
+	if err != nil {
 		return nil, fmt.Errorf("flow: routed result failed verification: %w", err)
 	}
 	res.LevelB = cres

@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+
+	"overcell/internal/gen"
+	"overcell/internal/obs"
+)
+
+// durField strips the one intentionally nondeterministic event field:
+// phase wall times.
+var durField = regexp.MustCompile(`,"dur_ns":\d+`)
+
+func traceProposed(t *testing.T) []byte {
+	t.Helper()
+	inst, err := gen.Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	if _, err := Proposed(inst, Options{Tracer: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+	return durField.ReplaceAll(buf.Bytes(), nil)
+}
+
+// TestProposedTraceDeterministic extends the determinism guarantee to
+// the observability stream: two traced runs of the same instance must
+// produce byte-identical NDJSON once wall times are excluded, and the
+// trace must exercise every event family the router can emit on a
+// fully-routable instance.
+func TestProposedTraceDeterministic(t *testing.T) {
+	first := traceProposed(t)
+	second := traceProposed(t)
+	if !bytes.Equal(first, second) {
+		a := bytes.Split(first, []byte("\n"))
+		b := bytes.Split(second, []byte("\n"))
+		for i := range a {
+			other := []byte("<missing>")
+			if i < len(b) {
+				other = b[i]
+			}
+			if !bytes.Equal(a[i], other) {
+				t.Fatalf("traces diverge at line %d:\n  run1: %s\n  run2: %s", i+1, a[i], other)
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d lines", len(a), len(b))
+	}
+	for _, ev := range []obs.EventType{
+		obs.EvPhaseStart, obs.EvPhaseEnd, obs.EvNetStart, obs.EvNetDone,
+		obs.EvMBFS, obs.EvSelect, obs.EvEscalate, obs.EvRipupPass,
+	} {
+		needle := []byte(`"ev":"` + string(ev) + `"`)
+		if !bytes.Contains(first, needle) {
+			t.Errorf("trace missing %q events", ev)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package maze
 import (
 	"overcell/internal/geom"
 	"overcell/internal/grid"
+	"overcell/internal/obs"
 	"overcell/internal/tig"
 )
 
@@ -38,6 +39,26 @@ type Result struct {
 // index-space window (cols, rows); pass the full grid range for an
 // unrestricted search.
 func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result, bool) {
+	return RouteTraced(g, from, to, cols, rows, nil)
+}
+
+// RouteTraced is Route with an observability hook: when tr is enabled
+// it receives one obs.EvMaze event per search carrying the wave's
+// expansion count, mirroring the obs.EvMBFS events of the TIG search
+// so the two baselines are comparable in one trace stream.
+func RouteTraced(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, tr obs.Tracer) (*Result, bool) {
+	res, ok := route(g, from, to, cols, rows)
+	if t := obs.OrNop(tr); t.Enabled() {
+		expanded := 0
+		if res != nil {
+			expanded = res.Expanded
+		}
+		t.Emit(obs.Event{Type: obs.EvMaze, Expanded: expanded, Failed: !ok})
+	}
+	return res, ok
+}
+
+func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result, bool) {
 	cols = cols.Intersect(geom.Iv(0, g.NX()-1))
 	rows = rows.Intersect(geom.Iv(0, g.NY()-1))
 	if !cols.Contains(from.Col) || !rows.Contains(from.Row) ||

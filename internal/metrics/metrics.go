@@ -10,13 +10,14 @@ import (
 	"overcell/internal/flow"
 )
 
-// Reduction returns the percent reduction from base to new: positive
-// when new is smaller. A zero base yields zero.
-func Reduction(base, new int64) float64 {
+// Reduction returns the percent reduction from base to after: positive
+// when after is smaller, negative for a regression. A zero base yields
+// zero.
+func Reduction(base, after int64) float64 {
 	if base == 0 {
 		return 0
 	}
-	return 100 * float64(base-new) / float64(base)
+	return 100 * float64(base-after) / float64(base)
 }
 
 // Comparison pairs two flow results over the same instance.

@@ -8,14 +8,24 @@ import (
 )
 
 func TestReduction(t *testing.T) {
-	if got := Reduction(200, 150); got != 25 {
-		t.Errorf("Reduction = %v, want 25", got)
+	cases := []struct {
+		name        string
+		base, after int64
+		want        float64
+	}{
+		{"quarter", 200, 150, 25},
+		{"regression", 100, 120, -20},
+		{"zero base", 0, 50, 0},
+		{"zero base zero after", 0, 0, 0},
+		{"to zero", 80, 0, 100},
+		{"unchanged", 64, 64, 0},
+		{"doubled regression", 50, 100, -100},
+		{"large values", 4_000_000_000, 1_000_000_000, 75},
 	}
-	if got := Reduction(100, 120); got != -20 {
-		t.Errorf("negative Reduction = %v, want -20", got)
-	}
-	if got := Reduction(0, 50); got != 0 {
-		t.Errorf("zero-base Reduction = %v, want 0", got)
+	for _, c := range cases {
+		if got := Reduction(c.base, c.after); got != c.want {
+			t.Errorf("%s: Reduction(%d, %d) = %v, want %v", c.name, c.base, c.after, got, c.want)
+		}
 	}
 }
 
@@ -41,14 +51,39 @@ func TestComparisonReductions(t *testing.T) {
 }
 
 func TestTables(t *testing.T) {
-	rows := []Comparison{comparison()}
+	worse := Comparison{
+		Instance: "worse",
+		Base:     &flow.Result{Area: 1000, WireLength: 500, Vias: 40},
+		New:      &flow.Result{Area: 1100, WireLength: 600, Vias: 50},
+	}
+	rows := []Comparison{comparison(), worse}
 	t2 := Table2(rows)
 	if !strings.Contains(t2, "demo") || !strings.Contains(t2, "20.0%") {
 		t.Errorf("Table2:\n%s", t2)
 	}
+	// Regressions format as negative percentages, one row per entry.
+	if !strings.Contains(t2, "-10.0%") || !strings.Contains(t2, "-20.0%") {
+		t.Errorf("Table2 regression row:\n%s", t2)
+	}
+	if got := len(strings.Split(strings.TrimRight(t2, "\n"), "\n")); got != 3 {
+		t.Errorf("Table2 lines = %d, want header + 2 rows", got)
+	}
 	t3 := Table3(rows)
 	if !strings.Contains(t3, "1000") || !strings.Contains(t3, "800") {
 		t.Errorf("Table3:\n%s", t3)
+	}
+	if !strings.Contains(t3, "1100") || !strings.Contains(t3, "-10.0%") {
+		t.Errorf("Table3 regression row:\n%s", t3)
+	}
+	for _, col := range []string{"Example", "Layout Area", "Wire Length", "Vias"} {
+		if !strings.Contains(t2, col) {
+			t.Errorf("Table2 missing column %q", col)
+		}
+	}
+	for _, col := range []string{"4-Layer Channel", "4-Layer Over-Cell", "Reduction"} {
+		if !strings.Contains(t3, col) {
+			t.Errorf("Table3 missing column %q", col)
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchEntry is one benchmark workload's measurement in a bench-JSON
+// file (see cmd/benchjson). Metrics carries workload-specific numbers
+// (percent reductions, nodes expanded, event counts) keyed by a stable
+// snake_case name.
+type BenchEntry struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  uint64             `json:"bytes_per_op"`
+	AllocsPerOp uint64             `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchFile is the machine-readable perf-trajectory snapshot committed
+// as BENCH_<tag>.json: one entry per workload, tagged with the PR it
+// baselines. Future PRs append new files and compare against old ones.
+type BenchFile struct {
+	Tag         string       `json:"tag"`
+	GoVersion   string       `json:"go_version"`
+	GeneratedAt string       `json:"generated_at,omitempty"`
+	Benchmarks  []BenchEntry `json:"benchmarks"`
+}
+
+// WriteBench encodes the file as indented JSON with a trailing
+// newline.
+func WriteBench(w io.Writer, f *BenchFile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadBench decodes and validates a bench-JSON file.
+func ReadBench(r io.Reader) (*BenchFile, error) {
+	var f BenchFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("obs: bench json: %w", err)
+	}
+	if f.Tag == "" {
+		return nil, fmt.Errorf("obs: bench json missing tag")
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("obs: bench json %q has no benchmarks", f.Tag)
+	}
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("obs: bench json %q entry %d missing name", f.Tag, i)
+		}
+		if b.Runs <= 0 || b.NsPerOp < 0 {
+			return nil, fmt.Errorf("obs: bench json %q entry %q has invalid runs/timing (%d, %d)",
+				f.Tag, b.Name, b.Runs, b.NsPerOp)
+		}
+	}
+	return &f, nil
+}

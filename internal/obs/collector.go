@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Histogram is a power-of-two bucket histogram over non-negative
+// integer observations (search expansions, BFS depths, path counts).
+// Bucket i holds observations v with 2^(i-1) <= v < 2^i; bucket 0
+// holds v == 0.
+type Histogram struct {
+	Buckets [32]int64
+	N       int64
+	Sum     int64
+	Max     int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// String renders "n=N mean=M max=X" plus the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d", h.N, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := int64(0), int64(0)
+		if i > 0 {
+			lo, hi = int64(1)<<(i-1), int64(1)<<i-1
+		}
+		fmt.Fprintf(&b, " [%d-%d]:%d", lo, hi, c)
+	}
+	return b.String()
+}
+
+// Collector aggregates a routing run's events into counters and
+// histograms. The zero value is not usable; call NewCollector.
+type Collector struct {
+	byType map[EventType]int64
+
+	// Search effort.
+	Expanded     int64 // total MBFS + maze nodes expanded
+	Pruned       int64 // examine-once rejections across all searches
+	SelectPruned int64 // candidates abandoned by the selection bound
+	MBFSLevels   Histogram
+	MBFSExpanded Histogram
+	MBFSPaths    Histogram
+	FailedMBFS   int64
+
+	// Completion ladder.
+	EscalationsByStep map[int]int64
+	RelaxedRetries    int64
+
+	// Nets.
+	NetsRouted int64 // net_done events without Failed (incl. retries)
+	NetsFailed int64
+
+	// Totals over net_done events.
+	Wire    int64
+	Vias    int64
+	Corners int64
+
+	// Rip-up recovery.
+	RipupAttempts int64
+	RipupWins     int64
+	RipupPasses   int64
+
+	// Phase wall times, nanoseconds, keyed by phase name.
+	PhaseNS map[string]int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		byType:            make(map[EventType]int64),
+		EscalationsByStep: make(map[int]int64),
+		PhaseNS:           make(map[string]int64),
+	}
+}
+
+// Enabled implements Tracer.
+func (c *Collector) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	c.byType[e.Type]++
+	switch e.Type {
+	case EvMBFS:
+		c.Expanded += int64(e.Expanded)
+		c.Pruned += int64(e.Pruned)
+		c.MBFSLevels.Observe(int64(e.Levels))
+		c.MBFSExpanded.Observe(int64(e.Expanded))
+		c.MBFSPaths.Observe(int64(e.Paths))
+		if e.Failed {
+			c.FailedMBFS++
+		}
+	case EvSelect:
+		c.SelectPruned += int64(e.Pruned)
+	case EvEscalate:
+		c.EscalationsByStep[e.Step]++
+		if e.Relaxed {
+			c.RelaxedRetries++
+		}
+	case EvNetDone:
+		if e.Failed {
+			c.NetsFailed++
+		} else {
+			c.NetsRouted++
+		}
+		c.Wire += int64(e.Wire)
+		c.Vias += int64(e.Vias)
+		c.Corners += int64(e.Corners)
+	case EvRipup:
+		c.RipupAttempts++
+		if !e.Failed {
+			c.RipupWins++
+		}
+	case EvRipupPass:
+		c.RipupPasses++
+	case EvMaze:
+		c.Expanded += int64(e.Expanded)
+	case EvPhaseEnd:
+		c.PhaseNS[e.Phase] += e.DurNS
+	}
+}
+
+// Count returns how many events of the given type were collected.
+func (c *Collector) Count(t EventType) int64 { return c.byType[t] }
+
+// Events returns the total event count.
+func (c *Collector) Events() int64 {
+	var n int64
+	for _, v := range c.byType {
+		n += v
+	}
+	return n
+}
+
+// Summary formats the collected statistics as a stable multi-line
+// report. Iteration over the internal maps goes through sorted keys so
+// two identical runs produce identical summaries.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d total\n", c.Events())
+	types := make([]string, 0, len(c.byType))
+	for t := range c.byType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Fprintf(&b, "  %-12s %d\n", t, c.byType[EventType(t)])
+	}
+	fmt.Fprintf(&b, "nets: %d routed, %d failed attempts; wire=%d vias=%d corners=%d\n",
+		c.NetsRouted, c.NetsFailed, c.Wire, c.Vias, c.Corners)
+	fmt.Fprintf(&b, "search: %d nodes expanded, %d visit-rule prunes, %d selection prunes, %d searches exhausted\n",
+		c.Expanded, c.Pruned, c.SelectPruned, c.FailedMBFS)
+	fmt.Fprintf(&b, "  mbfs levels:   %s\n", c.MBFSLevels.String())
+	fmt.Fprintf(&b, "  mbfs expanded: %s\n", c.MBFSExpanded.String())
+	fmt.Fprintf(&b, "  mbfs paths:    %s\n", c.MBFSPaths.String())
+	steps := make([]int, 0, len(c.EscalationsByStep))
+	for s := range c.EscalationsByStep {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	fmt.Fprintf(&b, "escalations:")
+	if len(steps) == 0 {
+		fmt.Fprintf(&b, " none")
+	}
+	for _, s := range steps {
+		fmt.Fprintf(&b, " step%d:%d", s, c.EscalationsByStep[s])
+	}
+	fmt.Fprintf(&b, " (relaxed retries: %d)\n", c.RelaxedRetries)
+	fmt.Fprintf(&b, "rip-up: %d passes, %d attempts, %d recovered\n",
+		c.RipupPasses, c.RipupAttempts, c.RipupWins)
+	phases := make([]string, 0, len(c.PhaseNS))
+	for p := range c.PhaseNS {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	for _, p := range phases {
+		fmt.Fprintf(&b, "phase %-8s %.3fms\n", p, float64(c.PhaseNS[p])/1e6)
+	}
+	return b.String()
+}

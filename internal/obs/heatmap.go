@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+
+	"overcell/internal/geom"
+)
+
+// CongestionSurface is the slice of the grid API the heatmap needs.
+// *grid.Grid implements it.
+type CongestionSurface interface {
+	NX() int
+	NY() int
+	// CongestionIn returns the blocked fraction, in [0,1], of the
+	// index-space window.
+	CongestionIn(cols, rows geom.Interval) float64
+}
+
+// Heatmap is a per-window congestion map of a routing surface: the
+// grid is tiled into Win-by-Win track windows and each cell holds the
+// occupancy fraction of its window. Cell (0,0) is the bottom-left
+// window, matching grid orientation.
+type Heatmap struct {
+	Win        int       // window size in tracks
+	Cols, Rows int       // tiles per direction
+	Occ        []float64 // row-major: Occ[r*Cols+c], each in [0,1]
+}
+
+// CollectHeatmap tiles s into win-by-win windows (win < 1 means 8) and
+// samples the occupancy fraction of each.
+func CollectHeatmap(s CongestionSurface, win int) *Heatmap {
+	if win < 1 {
+		win = 8
+	}
+	cols := (s.NX() + win - 1) / win
+	rows := (s.NY() + win - 1) / win
+	h := &Heatmap{Win: win, Cols: cols, Rows: rows, Occ: make([]float64, cols*rows)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cw := geom.Iv(c*win, (c+1)*win-1).Intersect(geom.Iv(0, s.NX()-1))
+			rw := geom.Iv(r*win, (r+1)*win-1).Intersect(geom.Iv(0, s.NY()-1))
+			h.Occ[r*cols+c] = s.CongestionIn(cw, rw)
+		}
+	}
+	return h
+}
+
+// At returns the occupancy fraction of tile (c, r).
+func (h *Heatmap) At(c, r int) float64 { return h.Occ[r*h.Cols+c] }
+
+// Max returns the hottest tile's occupancy fraction.
+func (h *Heatmap) Max() float64 {
+	m := 0.0
+	for _, v := range h.Occ {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Hottest returns the tile with the highest occupancy and its value
+// (ties go to the lowest row, then column — deterministic).
+func (h *Heatmap) Hottest() (c, r int, occ float64) {
+	for i, v := range h.Occ {
+		if v > occ {
+			occ = v
+			c, r = i%h.Cols, i/h.Cols
+		}
+	}
+	return c, r, occ
+}
+
+// Validate checks structural consistency; used by tests and decoders.
+func (h *Heatmap) Validate() error {
+	if h.Win < 1 || h.Cols < 1 || h.Rows < 1 {
+		return fmt.Errorf("obs: heatmap dimensions %dx%d win %d invalid", h.Cols, h.Rows, h.Win)
+	}
+	if len(h.Occ) != h.Cols*h.Rows {
+		return fmt.Errorf("obs: heatmap has %d cells, want %d", len(h.Occ), h.Cols*h.Rows)
+	}
+	for i, v := range h.Occ {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("obs: heatmap cell %d occupancy %v outside [0,1]", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Writer streams events as NDJSON: one JSON object per line, fields in
+// Event declaration order, zero fields omitted. The stream is
+// deterministic whenever the routing run is; only the dur_ns field of
+// phase_end events carries wall-clock time.
+//
+// Writer buffers nothing itself — wrap the destination in a
+// bufio.Writer for throughput — and latches the first encoding or I/O
+// error, exposed by Err, so emit sites stay error-free.
+type Writer struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer streaming to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Enabled implements Tracer.
+func (w *Writer) Enabled() bool { return true }
+
+// Emit implements Tracer. After the first error, subsequent emits are
+// dropped.
+func (w *Writer) Emit(e Event) {
+	if w.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		w.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := w.w.Write(data); err != nil {
+		w.err = err
+		return
+	}
+	w.n++
+}
+
+// Events returns how many events were successfully written.
+func (w *Writer) Events() int { return w.n }
+
+// Err returns the first encoding or I/O error, if any.
+func (w *Writer) Err() error { return w.err }

@@ -1,0 +1,60 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/obs"
+)
+
+func heatmapExample(t *testing.T) *obs.Heatmap {
+	t.Helper()
+	g, err := grid.Uniform(32, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully block the left quarter, leave the rest free.
+	g.BlockRect(geom.R(0, 0, 70, 150), grid.MaskBoth)
+	return obs.CollectHeatmap(g, 8)
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	h := heatmapExample(t)
+	out := HeatmapASCII(h)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != h.Rows+1 {
+		t.Fatalf("lines = %d, want %d tiles + header", len(lines), h.Rows+1)
+	}
+	if !strings.Contains(lines[0], "congestion heatmap") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+	// The blocked left edge renders hot, the free right edge cold.
+	row := lines[1]
+	if row[0] != '@' || row[len(row)-1] != ' ' {
+		t.Errorf("tile shades wrong: %q", row)
+	}
+	if HeatmapASCII(h) != out {
+		t.Error("ASCII heatmap not deterministic")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	h := heatmapExample(t)
+	var buf bytes.Buffer
+	if err := HeatmapSVG(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "rgb(255,0,", "occ=1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Free tiles are skipped entirely (white background shows through).
+	if got := strings.Count(out, "<rect"); got != 1+h.Rows*(h.Cols/4) {
+		t.Errorf("rect count = %d, want background + %d hot tiles", got, h.Rows*(h.Cols/4))
+	}
+}

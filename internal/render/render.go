@@ -172,19 +172,24 @@ func SVG(w io.Writer, l *floorplan.Layout, g *grid.Grid, res *core.Result) error
 }
 
 // NetTable formats per-net level B results as fixed-width text rows,
-// sorted by net name.
+// sorted by net name. Alongside the geometry metrics it surfaces the
+// per-net search effort (nodes expanded), the completion-ladder
+// escalations the net consumed, and — for failed nets — the routing
+// error.
 func NetTable(res *core.Result) string {
 	rows := append([]*core.NetRoute(nil), res.Routes...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Net.Name < rows[j].Net.Name })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %6s %8s %6s %7s\n", "net", "pins", "wirelen", "vias", "status")
+	fmt.Fprintf(&b, "%-10s %6s %8s %6s %8s %5s %7s\n",
+		"net", "pins", "wirelen", "vias", "expanded", "esc", "status")
 	for _, nr := range rows {
 		status := "ok"
 		if nr.Err != nil {
-			status = "FAILED"
+			status = "FAILED: " + nr.Err.Error()
 		}
-		fmt.Fprintf(&b, "%-10s %6d %8d %6d %7s\n",
-			nr.Net.Name, len(nr.Terminals), nr.WireLength, len(nr.Vias), status)
+		fmt.Fprintf(&b, "%-10s %6d %8d %6d %8d %5d %7s\n",
+			nr.Net.Name, len(nr.Terminals), nr.WireLength, len(nr.Vias),
+			nr.Expanded, nr.Escalations, status)
 	}
 	return b.String()
 }

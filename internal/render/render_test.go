@@ -127,6 +127,11 @@ func TestNetTable(t *testing.T) {
 	if !strings.HasPrefix(out, "net") {
 		t.Error("missing header")
 	}
+	for _, col := range []string{"expanded", "esc"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("net table missing %q column:\n%s", col, out)
+		}
+	}
 }
 
 func TestChannelASCII(t *testing.T) {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"overcell/internal/geom"
+	"overcell/internal/obs"
 )
 
 // Surface is the occupancy oracle the search consults. *grid.Grid
@@ -174,6 +175,10 @@ type Config struct {
 	// minimum. Restricting to one start reproduces the per-search path
 	// sets of the paper's Figure 2.
 	Starts Starts
+	// Tracer, when enabled, receives one obs.EvMBFS event per Search
+	// call summarising levels, expansions, prunes and paths found. Nil
+	// means no tracing.
+	Tracer obs.Tracer
 }
 
 // Starts selects the MBFS start tracks.
@@ -207,6 +212,12 @@ type Result struct {
 	// Expanded counts search-tree nodes created, for the complexity
 	// benchmarks.
 	Expanded int
+	// Levels is the number of corner levels the frontier advanced
+	// through before completing or exhausting the window.
+	Levels int
+	// Pruned counts expansions rejected by the examine-each-vertex-once
+	// rule — the effort the paper's pruning avoids re-spending.
+	Pruned int
 }
 
 // Search finds all minimum-corner paths from terminal `from` to
@@ -259,7 +270,20 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 	}
 	frontier := append([]*Node(nil), roots...)
 	res := &Result{Trees: roots}
+	tr := obs.OrNop(cfg.Tracer)
+	finish := func(found bool) {
+		res.Expanded = st.expanded
+		res.Pruned = st.pruned
+		if tr.Enabled() {
+			tr.Emit(obs.Event{
+				Type: obs.EvMBFS, Levels: res.Levels, Expanded: res.Expanded,
+				Pruned: res.Pruned, Paths: len(res.Paths), Corners: res.Corners,
+				Failed: !found,
+			})
+		}
+	}
 	for level := 0; len(frontier) > 0 && level <= maxCorners; level++ {
+		res.Levels = level
 		var done []Path
 		for _, n := range frontier {
 			if p, ok := st.complete(n, from); ok {
@@ -272,7 +296,7 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 		if len(done) > 0 {
 			res.Paths = done
 			res.Corners = done[0].Corners()
-			res.Expanded = st.expanded
+			finish(true)
 			return res, true
 		}
 		var next []*Node
@@ -281,7 +305,7 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 		}
 		frontier = next
 	}
-	res.Expanded = st.expanded
+	finish(false)
 	return res, false
 }
 
@@ -293,6 +317,7 @@ type search struct {
 	maxPaths int
 	visited  map[Track]int
 	expanded int
+	pruned   int
 }
 
 // span returns the maximal clear run of n's track around its entry
@@ -380,9 +405,11 @@ func (st *search) admit(t Track, level int) bool {
 	}
 	if prev, seen := st.visited[t]; seen {
 		if prev < level {
+			st.pruned++
 			return false
 		}
 		if !st.relaxed {
+			st.pruned++
 			return false
 		}
 		return true
