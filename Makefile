@@ -1,7 +1,7 @@
 GO ?= go
 OCLINT := $(CURDIR)/bin/oclint
 
-.PHONY: all build test race lint bench bench-json clean
+.PHONY: all build test race lint bench bench-json fuzz clean
 
 all: build lint test
 
@@ -28,6 +28,14 @@ FORCE:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz smoke-runs each fuzz target for a short burst (go's -fuzz flag
+# accepts one target per invocation). Crashers land under
+# internal/robust/fault/testdata/fuzz/ and replay via plain `go test`.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/robust/fault -run='^$$' -fuzz=FuzzProposed -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/robust/fault -run='^$$' -fuzz=FuzzTIGSearch -fuzztime=$(FUZZTIME)
 
 # bench-json snapshots the perf trajectory as BENCH_<TAG>.json (see
 # cmd/benchjson); commit the file alongside the change it baselines.

@@ -129,7 +129,10 @@ func BenchmarkChannelFreeFlow(b *testing.B) {
 // Intersection Graph.
 func BenchmarkFigure1TIG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		g, _, _ := paper.Figure1()
+		g, _, _, err := paper.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
 		tg := tig.BuildGraph(g, geom.Iv(0, 5), geom.Iv(0, 3))
 		if len(tg.Edges) == 0 {
 			b.Fatal("empty TIG")

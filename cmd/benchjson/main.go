@@ -11,8 +11,12 @@
 // produced it, so regressions show up in review as JSON diffs. The
 // workloads mirror the root benchmarks: the Table 2 flow comparison on
 // all three instances, the channel-free variant, the maze-vs-TIG
-// search comparison, and a traced-vs-untraced pair quantifying the
-// observability overhead.
+// search comparison, and traced-vs-untraced plus budgeted-vs-untraced
+// pairs quantifying the observability and budget-metering overhead.
+//
+// -deadline and -budget bound each workload run (a safety rail when
+// benchmarking hostile or oversized instances); a tripped budget fails
+// the workload rather than silently snapshotting a partial route.
 package main
 
 import (
@@ -29,13 +33,20 @@ import (
 	"overcell/internal/maze"
 	"overcell/internal/metrics"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 	"overcell/internal/tig"
 )
+
+// guard holds the -deadline/-budget limits applied to every flow
+// workload. Zero means unbounded, matching pre-flag behaviour.
+var guard robust.Limits
 
 func main() {
 	tag := flag.String("tag", "dev", "snapshot tag (becomes BENCH_<tag>.json)")
 	out := flag.String("o", "", "output file (default BENCH_<tag>.json)")
 	runs := flag.Int("runs", 1, "timing runs per workload; the fastest is kept")
+	flag.DurationVar(&guard.Timeout, "deadline", 0, "wall-clock budget per workload run (0 = none)")
+	flag.Int64Var(&guard.NetExpansions, "budget", 0, "search-expansion budget per net (0 = unlimited)")
 	flag.Parse()
 	if *runs < 1 {
 		*runs = 1
@@ -173,12 +184,33 @@ func workloads() []workload {
 			"events":   float64(col.Events()),
 		}, nil
 	}})
+	// The budget pair: the same flow metered by an active budget whose
+	// limits sit far above the workload's actual work, so every Charge
+	// executes but nothing trips. Comparing its ns/op against
+	// proposed/ami33/untraced is the standing regression check that
+	// budget metering stays under 2% overhead.
+	ws = append(ws, workload{"proposed/ami33/budgeted", func() (map[string]float64, error) {
+		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{
+			Limits: robust.Limits{
+				NetExpansions:   1 << 30,
+				TotalExpansions: 1 << 40,
+				Timeout:         time.Hour,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil
+	}})
 	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
 	return ws
 }
 
 func runFlow(mk func() (*gen.Instance, error),
 	f func(*gen.Instance, flow.Options) (*flow.Result, error), opt flow.Options) (*flow.Result, error) {
+	if opt.Limits.Zero() {
+		opt.Limits = guard
+	}
 	inst, err := mk()
 	if err != nil {
 		return nil, err

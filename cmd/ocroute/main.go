@@ -16,6 +16,12 @@
 // per-window congestion map of the level B grid (SVG when the file
 // ends in .svg, ASCII otherwise), and -cpuprofile/-memprofile write
 // standard pprof profiles.
+//
+// Robustness: -deadline bounds the run's wall clock, -budget and
+// -total-budget cap search expansions per net and per run, and
+// -partial accepts runs where some nets degraded instead of failing
+// the whole route. A run that trips a sticky bound (deadline or total
+// budget) still prints its verified partial result and exits 2.
 package main
 
 import (
@@ -34,9 +40,14 @@ import (
 	"overcell/internal/metrics"
 	"overcell/internal/obs"
 	"overcell/internal/render"
+	"overcell/internal/robust"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "instance JSON (default stdin)")
 	flowName := flag.String("flow", "proposed", "flow: baseline, proposed, channel4, channelfree, all")
 	svg := flag.String("svg", "", "write the routed layout as SVG to this file")
@@ -48,6 +59,10 @@ func main() {
 	heatwin := flag.Int("heatwin", 8, "heatmap window size in tracks")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole run (0 = none)")
+	budget := flag.Int64("budget", 0, "search-expansion budget per net (0 = unlimited)")
+	totalBudget := flag.Int64("total-budget", 0, "search-expansion budget for the whole run (0 = unlimited)")
+	partial := flag.Bool("partial", false, "accept runs where some nets degraded under the budget instead of failing")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -82,7 +97,15 @@ func main() {
 		traceWriter = obs.NewWriter(traceBuf)
 		tracers = append(tracers, traceWriter)
 	}
-	opts := flow.Options{Tracer: obs.Combine(tracers...)}
+	opts := flow.Options{
+		Tracer: obs.Combine(tracers...),
+		Limits: robust.Limits{
+			NetExpansions:   *budget,
+			TotalExpansions: *totalBudget,
+			Timeout:         *deadline,
+		},
+		AllowPartial: *partial,
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -103,6 +126,7 @@ func main() {
 		"channelfree": flow.ChannelFree,
 	}
 	var res *flow.Result
+	degraded := false
 	if *flowName == "all" {
 		// Flows re-place the shared layout, so each runs on a fresh copy
 		// decoded from the serialised instance.
@@ -122,15 +146,26 @@ func main() {
 			fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
 		}
 	} else {
-		run, ok := flows[*flowName]
+		flowFn, ok := flows[*flowName]
 		if !ok {
 			die(fmt.Errorf("unknown flow %q", *flowName))
 		}
-		res, err = run(inst, opts)
-		if err != nil {
-			die(err)
+		var ferr error
+		res, ferr = flowFn(inst, opts)
+		if ferr != nil {
+			// Sticky budget trips and cancellations return the verified
+			// partial result alongside the error; report it and exit 2
+			// below instead of dying.
+			if res == nil || res.LevelB == nil {
+				die(ferr)
+			}
+			fmt.Fprintln(os.Stderr, "ocroute: partial result:", ferr)
+			degraded = true
 		}
 		fmt.Println(metrics.FlowLine(inst.Name+"/"+res.Flow, res))
+		if res.Degraded > 0 {
+			fmt.Printf("degraded: %d nets hit the work budget\n", res.Degraded)
+		}
 		if res.LevelB != nil {
 			fmt.Printf("level B: %d nets, %d corners, %d search nodes expanded\n",
 				len(res.LevelB.Routes), res.LevelB.Corners, res.LevelB.Expanded)
@@ -206,6 +241,10 @@ func main() {
 			die(err)
 		}
 	}
+	if degraded {
+		return 2
+	}
+	return 0
 }
 
 func die(err error) {

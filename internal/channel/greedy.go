@@ -3,7 +3,17 @@ package channel
 import (
 	"fmt"
 	"sort"
+
+	"overcell/internal/robust"
 )
+
+// ErrTrackLost reports a track pointer that is no longer in the
+// router's track list — an internal bookkeeping invariant violation
+// (matching robust.ErrInternal), never a property of the input. It
+// used to be a panic; now it propagates as an error through
+// flow.routeChannel so one corrupt channel cannot take down a whole
+// routing service.
+var ErrTrackLost = fmt.Errorf("channel: track not in list: %w", robust.ErrInternal)
 
 // trk is one track with stable identity across insertions. Final track
 // indices are resolved only when the scan completes, so widening the
@@ -75,7 +85,8 @@ func Greedy(p *Problem) (*Solution, error) {
 	width := p.Width()
 	for g.col = 0; g.col < width || g.active() > 0; g.col++ {
 		if g.col > width+2*len(g.tracks)+4 {
-			return nil, fmt.Errorf("channel: greedy scan failed to converge by column %d", g.col)
+			return nil, fmt.Errorf("channel: greedy scan failed to converge by column %d: %w",
+				g.col, robust.ErrInternal)
 		}
 		g.vset = g.vset[:0]
 		if g.col < width {
@@ -100,13 +111,13 @@ func (g *greedyRouter) active() int {
 	return n
 }
 
-func (g *greedyRouter) pos(t *trk) int {
+func (g *greedyRouter) pos(t *trk) (int, error) {
 	for i, x := range g.tracks {
 		if x == t {
-			return i
+			return i, nil
 		}
 	}
-	panic("channel: track not in list")
+	return -1, ErrTrackLost
 }
 
 // claim assigns a free track to a net at the current column.
@@ -155,15 +166,13 @@ func (g *greedyRouter) pins(c int) error {
 	t, b := g.p.Top[c], g.p.Bottom[c]
 	switch {
 	case t != 0 && t == b:
-		g.sameNetColumn(t)
+		return g.sameNetColumn(t)
 	case t != 0 && b != 0:
-		if err := g.pinPair(t, b); err != nil {
-			return err
-		}
+		return g.pinPair(t, b)
 	case t != 0:
-		g.singlePin(t, true)
+		return g.singlePin(t, true)
 	case b != 0:
-		g.singlePin(b, false)
+		return g.singlePin(b, false)
 	}
 	return nil
 }
@@ -171,7 +180,7 @@ func (g *greedyRouter) pins(c int) error {
 // sameNetColumn connects a column whose top and bottom pins belong to
 // the same net with one full-height vertical, collapsing every track
 // of the net along the way.
-func (g *greedyRouter) sameNetColumn(net int) {
+func (g *greedyRouter) sameNetColumn(net int) error {
 	own := g.ownPositions(net)
 	if len(own) == 0 {
 		// No track yet: if this is the net's only column it needs no
@@ -180,7 +189,10 @@ func (g *greedyRouter) sameNetColumn(net int) {
 		if g.pinsLeft[net] > 0 {
 			p := g.bestFree(0)
 			if p < 0 {
-				p = g.pos(g.insertTrack(len(g.tracks) / 2))
+				var err error
+				if p, err = g.pos(g.insertTrack(len(g.tracks) / 2)); err != nil {
+					return err
+				}
 			}
 			g.claim(g.tracks[p], net)
 			g.verts = append(g.verts, gVert{net: net, col: g.col,
@@ -191,7 +203,7 @@ func (g *greedyRouter) sameNetColumn(net int) {
 				touchTop: true, touchBot: true})
 		}
 		g.vset = append(g.vset, gvSpan{net: net, lo: -1, hi: len(g.tracks)})
-		return
+		return nil
 	}
 	g.pinsLeft[net] -= 2
 	taps := make([]*trk, len(own))
@@ -209,10 +221,11 @@ func (g *greedyRouter) sameNetColumn(net int) {
 			g.release(g.tracks[p])
 		}
 	}
+	return nil
 }
 
 // singlePin connects a lone top or bottom pin.
-func (g *greedyRouter) singlePin(net int, top bool) {
+func (g *greedyRouter) singlePin(net int, top bool) error {
 	g.pinsLeft[net]--
 	own := g.ownPositions(net)
 	var spanLo, spanHi int
@@ -235,7 +248,10 @@ func (g *greedyRouter) singlePin(net int, top bool) {
 	} else {
 		p := g.bestFree(boolside(top, 0, len(g.tracks)-1))
 		if p < 0 {
-			p = g.pos(g.insertTrack(boolside(top, 0, len(g.tracks))))
+			var err error
+			if p, err = g.pos(g.insertTrack(boolside(top, 0, len(g.tracks)))); err != nil {
+				return err
+			}
 		}
 		g.claim(g.tracks[p], net)
 		if top {
@@ -261,7 +277,11 @@ func (g *greedyRouter) singlePin(net int, top bool) {
 	if len(taps) > 1 {
 		var positions []int
 		for _, t := range taps {
-			positions = append(positions, g.pos(t))
+			p, err := g.pos(t)
+			if err != nil {
+				return err
+			}
+			positions = append(positions, p)
 		}
 		sort.Ints(positions)
 		keep := g.keepChoice(net, positions)
@@ -271,6 +291,7 @@ func (g *greedyRouter) singlePin(net int, top bool) {
 			}
 		}
 	}
+	return nil
 }
 
 // pinPair connects a top pin of net t and a bottom pin of net b
@@ -279,7 +300,8 @@ func (g *greedyRouter) singlePin(net int, top bool) {
 func (g *greedyRouter) pinPair(t, b int) error {
 	for attempt := 0; ; attempt++ {
 		if attempt > 3 {
-			return fmt.Errorf("channel: column %d pin pair (%d,%d) unresolvable", g.col, t, b)
+			return fmt.Errorf("channel: column %d pin pair (%d,%d) unresolvable: %w",
+				g.col, t, b, robust.ErrInternal)
 		}
 		pt, pb, ok := g.bestPair(t, b)
 		if ok {

@@ -1,0 +1,25 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+
+	"overcell/internal/robust"
+)
+
+// Regression: pos() used to panic("channel: track not in list"); a
+// foreign track pointer must now surface as ErrTrackLost, classified
+// as an internal invariant violation in the robust taxonomy.
+func TestPosForeignTrackReturnsErrTrackLost(t *testing.T) {
+	g := &greedyRouter{tracks: []*trk{{}, {}}}
+	if p, err := g.pos(g.tracks[1]); err != nil || p != 1 {
+		t.Fatalf("pos(known track) = %d, %v", p, err)
+	}
+	_, err := g.pos(&trk{})
+	if !errors.Is(err, ErrTrackLost) {
+		t.Fatalf("pos(foreign track) = %v, want ErrTrackLost", err)
+	}
+	if !errors.Is(err, robust.ErrInternal) {
+		t.Errorf("ErrTrackLost does not match robust.ErrInternal: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 )
 
 // Weights parameterises the path-selection cost function.
@@ -124,6 +125,12 @@ type Config struct {
 	// MBFS searches, escalations, rip-up outcomes). Nil disables
 	// tracing at no cost to the search hot path.
 	Tracer obs.Tracer
+	// Budget meters the run: search expansions are charged against it
+	// and the router polls it between nets, ladder steps and recovery
+	// passes. Per-net exhaustion degrades the net and continues; total
+	// exhaustion, deadline expiry and cancellation stop the run with a
+	// partial Result. Nil means unbounded.
+	Budget *robust.Budget
 }
 
 // Rip-up recovery defaults.

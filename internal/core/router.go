@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"overcell/internal/grid"
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 	"overcell/internal/tig"
 )
 
@@ -75,9 +77,14 @@ func New(g *grid.Grid, cfg Config) *Router {
 
 // Route routes the given nets and commits their metal to the grid.
 // Terminal positions are snapped to the nearest tracks. Route returns
-// an error only for structurally invalid input (terminal collisions
-// between different nets); per-net routing failures are reported in
-// the Result and do not abort the run.
+// an error for structurally invalid input (terminal collisions between
+// different nets, wrapping robust.ErrInvalidInput) and when a sticky
+// budget condition — total expansion cap, deadline, cancellation —
+// stops the run; in the sticky case the partial Result is returned
+// alongside the error, with every unattempted net carrying the typed
+// cause in its NetRoute.Err. Per-net routing failures (including
+// per-net budget exhaustion) are reported in the Result and do not
+// abort the run.
 func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	termPts, err := r.snapTerminals(nets)
 	if err != nil {
@@ -96,12 +103,33 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	ordered := orderNets(nets, r.cfg.Order)
 	routes := make(map[netlist.NetID]*NetRoute, len(nets))
 	shapes := make(map[netlist.NetID]*shape, len(nets))
+	var sticky error
 	for rank, net := range ordered {
+		if sticky == nil {
+			if sticky = r.cfg.Budget.Err(); sticky != nil && r.tr.Enabled() {
+				r.tr.Emit(obs.Event{
+					Type: obs.EvBudget, Phase: "level-b",
+					Expanded: int(r.cfg.Budget.Used()), Failed: true,
+				})
+			}
+		}
+		if sticky != nil {
+			// The run is over; the remaining nets were never attempted
+			// and inherit the run-terminating cause.
+			routes[net.ID] = &NetRoute{
+				Net: net, Terminals: termPts[net.ID],
+				Err: robust.Wrap("level-b", net.Name, sticky),
+			}
+			continue
+		}
 		nr, sh := r.routeNet(net, termPts[net.ID], eval, res, rank+1)
 		routes[net.ID] = nr
 		shapes[net.ID] = sh
 	}
-	r.recover(ordered, termPts, routes, shapes, eval, res)
+	if sticky == nil {
+		r.recover(ordered, termPts, routes, shapes, eval, res)
+		sticky = r.cfg.Budget.Err() // a trip during recovery still surfaces
+	}
 	for _, net := range ordered {
 		nr := routes[net.ID]
 		res.Routes = append(res.Routes, nr)
@@ -111,6 +139,9 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 		if nr.Err != nil {
 			res.Failed++
 		}
+	}
+	if sticky != nil {
+		return res, robust.Wrap("level-b", "", sticky)
 	}
 	return res, nil
 }
@@ -123,11 +154,17 @@ func (r *Router) recover(ordered []*netlist.Net, termPts map[netlist.NetID][]tig
 	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
 	eval *costEvaluator, res *Result) {
 	for pass := 0; pass < r.cfg.ripupPasses(); pass++ {
+		if r.cfg.Budget.Err() != nil {
+			return
+		}
 		progress := false
 		attempts := 0
 		for _, net := range ordered {
 			if routes[net.ID].Err == nil {
 				continue
+			}
+			if r.cfg.Budget.Err() != nil {
+				return
 			}
 			attempts++
 			if r.retryWithRipup(net, ordered, termPts, routes, shapes, eval, res) {
@@ -269,7 +306,7 @@ func (r *Router) snapTerminals(nets []*netlist.Net) (map[netlist.NetID][]tig.Poi
 			}
 			seen[p] = true
 			if prev, clash := owner[p]; clash && prev != net {
-				return nil, fmt.Errorf("core: nets %q and %q share terminal grid point %v",
+				return nil, robust.Invalidf("core: nets %q and %q share terminal grid point %v",
 					prev.Name, net.Name, p)
 			}
 			// The point must be free right now: occupied points carry an
@@ -277,7 +314,7 @@ func (r *Router) snapTerminals(nets []*netlist.Net) (map[netlist.NetID][]tig.Poi
 			// terminal stack — lifting any of those for this net's own
 			// terminal would corrupt foreign geometry.
 			if !r.g.PointFree(p.Col, p.Row) {
-				return nil, fmt.Errorf("core: net %q terminal at %v lies on occupied grid point",
+				return nil, robust.Invalidf("core: net %q terminal at %v lies on occupied grid point",
 					net.Name, p)
 			}
 			owner[p] = net
@@ -295,6 +332,7 @@ func (r *Router) snapTerminals(nets []*netlist.Net) (map[netlist.NetID][]tig.Poi
 // position, or 0 for rip-up retries.
 func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluator, res *Result, rank int) (*NetRoute, *shape) {
 	nr := &NetRoute{Net: net, Terminals: terms}
+	r.cfg.Budget.BeginNet()
 	if r.tr.Enabled() {
 		r.tr.Emit(obs.Event{Type: obs.EvNetStart, Net: net.Name, Rank: rank, Terminals: len(terms)})
 	}
@@ -368,13 +406,28 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 		}
 		path, err := r.connect(nr, p, bestTarget, eval, res)
 		if err != nil {
-			nr.Err = fmt.Errorf("core: net %q: %w", net.Name, err)
+			nr.Err = r.failNet(net.Name, err, nr)
 			return nr, sh
 		}
 		sh.addPath(path, termTest)
 		nr.Corners += path.Corners()
 	}
 	return nr, sh
+}
+
+// failNet wraps a connection failure with net provenance and, when the
+// cause is a budget trip or cancellation, emits one EvBudget event so
+// traces show where the work ran out. Failed marks sticky trips that
+// end the whole run (the run-level poll in Route is what acts on them).
+func (r *Router) failNet(name string, err error, nr *NetRoute) error {
+	if r.tr.Enabled() &&
+		(errors.Is(err, robust.ErrBudgetExhausted) || errors.Is(err, robust.ErrCanceled)) {
+		r.tr.Emit(obs.Event{
+			Type: obs.EvBudget, Net: name, Phase: "level-b",
+			Expanded: nr.Expanded, Failed: r.cfg.Budget.Err() != nil,
+		})
+	}
+	return robust.Wrap("level-b", name, err)
 }
 
 // routeMST is the ablation decomposition: a plain minimum spanning
@@ -400,7 +453,7 @@ func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *cost
 		}
 		path, err := r.connect(nr, terms[bestJ], terms[bestI], eval, res)
 		if err != nil {
-			nr.Err = fmt.Errorf("core: net %q: %w", nr.Net.Name, err)
+			nr.Err = r.failNet(nr.Net.Name, err, nr)
 			return
 		}
 		sh.addPath(path, termTest)
@@ -429,14 +482,20 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 	fullCols := geom.Iv(0, r.g.NX()-1)
 	fullRows := geom.Iv(0, r.g.NY()-1)
 
-	attempt := func(cfg tig.Config) (tig.Path, bool) {
+	attempt := func(cfg tig.Config) (tig.Path, bool, error) {
 		sr, ok := tig.Search(r.g, from, to, cfg)
 		if sr != nil {
 			res.Expanded += sr.Expanded
 			nr.Expanded += sr.Expanded
 		}
 		if !ok {
-			return tig.Path{}, false
+			// A budget/cancellation trip aborts the whole ladder: the
+			// escalation steps only grow the work, so retrying a tripped
+			// search in a larger window cannot succeed.
+			if sr != nil && sr.Err != nil {
+				return tig.Path{}, false, sr.Err
+			}
+			return tig.Path{}, false, nil
 		}
 		best, _, pruned := eval.selectBest(sr.Paths)
 		if r.tr.Enabled() {
@@ -445,7 +504,7 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 				Pruned: pruned, Corners: best.Corners(),
 			})
 		}
-		return best, true
+		return best, true, nil
 	}
 
 	for step, m := range r.cfg.expansions() {
@@ -460,6 +519,7 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 			RelaxedVisit: r.cfg.RelaxedVisit,
 			MaxPaths:     r.cfg.MaxPaths,
 			Tracer:       r.cfg.Tracer,
+			Budget:       r.cfg.Budget,
 		}
 		if m >= 0 {
 			cfg.ColBounds = geom.Iv(colLo-m, colHi+m).Intersect(fullCols)
@@ -468,7 +528,11 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 			cfg.ColBounds = fullCols
 			cfg.RowBounds = fullRows
 		}
-		if p, ok := attempt(cfg); ok {
+		p, ok, err := attempt(cfg)
+		if err != nil {
+			return tig.Path{}, err
+		}
+		if ok {
 			return p, nil
 		}
 	}
@@ -486,10 +550,16 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 			MaxCorners:   geom.Max(2*tig.DefaultMaxCorners, r.cfg.MaxCorners),
 			MaxPaths:     r.cfg.MaxPaths,
 			Tracer:       r.cfg.Tracer,
+			Budget:       r.cfg.Budget,
 		}
-		if p, ok := attempt(relaxed); ok {
+		p, ok, err := attempt(relaxed)
+		if err != nil {
+			return tig.Path{}, err
+		}
+		if ok {
 			return p, nil
 		}
 	}
-	return tig.Path{}, fmt.Errorf("connection %v -> %v unroutable within corner budget", from, to)
+	return tig.Path{}, fmt.Errorf("connection %v -> %v unroutable within corner budget: %w",
+		from, to, robust.ErrUnroutable)
 }

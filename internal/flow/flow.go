@@ -20,6 +20,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"overcell/internal/grid"
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 	"overcell/internal/verify"
 )
 
@@ -66,15 +68,45 @@ type Options struct {
 	// into the level B router (unless Core already carries its own
 	// tracer). Nil disables tracing.
 	Tracer obs.Tracer
+	// Ctx cancels the run: the routers poll it and return the partial
+	// result with robust.ErrCanceled (or robust.ErrBudgetExhausted when
+	// the context's deadline expired). Nil means context.Background().
+	Ctx context.Context
+	// Limits bounds the run's work (expansions, wall clock). The zero
+	// value is unbounded. One budget over Ctx and Limits is shared by
+	// all phases of a flow run; Core.Budget, when set, takes precedence.
+	Limits robust.Limits
+	// AllowPartial accepts runs with degraded (failed) level B nets:
+	// instead of an error, the flow returns the verified partial result
+	// with Result.Degraded counting the incomplete nets. Sticky budget
+	// trips (total cap, deadline, cancellation) still return an error —
+	// alongside the verified partial result.
+	AllowPartial bool
 }
 
-func (o Options) coreConfig() core.Config {
+// newBudget builds the run's shared budget: Core.Budget when the
+// caller supplied one, a fresh budget over Ctx/Limits when either is
+// set, else nil (unbounded, zero overhead).
+func (o Options) newBudget() *robust.Budget {
+	if o.Core != nil && o.Core.Budget != nil {
+		return o.Core.Budget
+	}
+	if o.Ctx == nil && o.Limits.Zero() {
+		return nil
+	}
+	return robust.NewBudget(o.Ctx, o.Limits)
+}
+
+func (o Options) coreConfig(b *robust.Budget) core.Config {
 	cfg := core.DefaultConfig()
 	if o.Core != nil {
 		cfg = *o.Core
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = o.Tracer
+	}
+	if cfg.Budget == nil {
+		cfg.Budget = b
 	}
 	return cfg
 }
@@ -112,6 +144,10 @@ type Result struct {
 	// nets (see internal/delay), quantifying the paper's propagation-
 	// delay motivation for over-cell routing.
 	Delay delay.Summary
+	// Degraded counts level B nets that did not complete (budget
+	// exhaustion or unroutable) in a run accepted under AllowPartial or
+	// returned alongside a sticky budget error. 0 on clean runs.
+	Degraded int
 }
 
 // levelA runs global assignment and detailed channel routing for the
@@ -127,8 +163,11 @@ type levelAResult struct {
 	delays []float64
 }
 
-func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options) (*levelAResult, error) {
+func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, b *robust.Budget) (*levelAResult, error) {
 	defer phase(opt.Tracer, "level-a")()
+	if err := b.Err(); err != nil {
+		return nil, robust.Wrap("level-a", "", err)
+	}
 	algo := opt.Channel
 	l := inst.Layout
 	// Provisional placement: x-coordinates are all global assignment
@@ -146,6 +185,11 @@ func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options)
 	netWL := map[int]int{}
 	netVias := map[int]int{}
 	for i, prob := range asg.Problems {
+		// The channel routers are not expansion-metered; deadline and
+		// cancellation are polled between channels instead.
+		if err := b.Err(); err != nil {
+			return nil, robust.Wrap("level-a", "", err)
+		}
 		sol, err := routeChannel(prob, algo)
 		if err != nil {
 			return nil, fmt.Errorf("flow: channel %d: %w", i, err)
@@ -212,8 +256,9 @@ func empty(p *channel.Problem) bool {
 }
 
 // TwoLayerBaseline routes every net in the channels.
-func TwoLayerBaseline(inst *gen.Instance, opt Options) (*Result, error) {
-	la, err := routeLevelA(inst, nil, opt)
+func TwoLayerBaseline(inst *gen.Instance, opt Options) (res *Result, err error) {
+	defer robust.Recover("flow.TwoLayerBaseline", &err)
+	la, err := routeLevelA(inst, nil, opt, opt.newBudget())
 	if err != nil {
 		return nil, err
 	}
@@ -239,8 +284,9 @@ func TwoLayerBaseline(inst *gen.Instance, opt Options) (*Result, error) {
 // need half the channel height of the two-layer router. Only layout
 // area is meaningful; wire length and vias are inherited from the
 // two-layer routing as an approximation.
-func FourLayerChannel(inst *gen.Instance, opt Options) (*Result, error) {
-	la, err := routeLevelA(inst, nil, opt)
+func FourLayerChannel(inst *gen.Instance, opt Options) (res *Result, err error) {
+	defer robust.Recover("flow.FourLayerChannel", &err)
+	la, err := routeLevelA(inst, nil, opt, opt.newBudget())
 	if err != nil {
 		return nil, err
 	}
@@ -265,13 +311,18 @@ func FourLayerChannel(inst *gen.Instance, opt Options) (*Result, error) {
 	}, nil
 }
 
-// Proposed runs the paper's two-level methodology.
-func Proposed(inst *gen.Instance, opt Options) (*Result, error) {
+// Proposed runs the paper's two-level methodology. On a sticky budget
+// trip (total cap, deadline, cancellation) it returns the verified
+// partial result alongside the typed error; callers that can use a
+// best-effort answer check the Result even when err is non-nil.
+func Proposed(inst *gen.Instance, opt Options) (res *Result, err error) {
+	defer robust.Recover("flow.Proposed", &err)
 	inA := opt.Partition
 	if inA == nil {
 		inA = gen.NetSpec.LevelA
 	}
-	la, err := routeLevelA(inst, inA, opt)
+	b := opt.newBudget()
+	la, err := routeLevelA(inst, inA, opt, b)
 	if err != nil {
 		return nil, err
 	}
@@ -279,28 +330,29 @@ func Proposed(inst *gen.Instance, opt Options) (*Result, error) {
 	if err := l.Place(la.heights); err != nil {
 		return nil, err
 	}
-	res := &Result{
+	res = &Result{
 		Flow:          "over-cell",
 		ChannelTracks: la.tracks,
 		Feedthroughs:  la.feedthroughs,
 	}
-	bDelays, err := routeLevelB(inst, func(s gen.NetSpec) bool { return !inA(s) }, opt, res)
-	if err != nil {
-		return nil, err
+	bDelays, sticky := routeLevelB(inst, func(s gen.NetSpec) bool { return !inA(s) }, opt, res, b)
+	if sticky != nil && res.LevelB == nil {
+		return nil, sticky
 	}
 	res.Area = l.Area()
 	res.Width, res.Height = l.Width(), l.Height()
 	res.WireLength += la.wireLength
 	res.Vias += la.vias
 	res.Delay = delay.Summarise(append(bDelays, la.delays...))
-	return res, nil
+	return res, sticky
 }
 
 // ChannelFree routes every net at level B; channels collapse to one
 // over-cell pitch of separation (paper section 5: "channel areas can
 // be eliminated and the entire set of interconnections can be routed
 // in level B").
-func ChannelFree(inst *gen.Instance, opt Options) (*Result, error) {
+func ChannelFree(inst *gen.Instance, opt Options) (res *Result, err error) {
+	defer robust.Recover("flow.ChannelFree", &err)
 	l := inst.Layout
 	sep := make([]int, l.NumChannels())
 	for i := range sep {
@@ -309,21 +361,27 @@ func ChannelFree(inst *gen.Instance, opt Options) (*Result, error) {
 	if err := l.Place(sep); err != nil {
 		return nil, err
 	}
-	res := &Result{Flow: "channel-free"}
-	bDelays, err := routeLevelB(inst, nil, opt, res)
-	if err != nil {
-		return nil, err
+	res = &Result{Flow: "channel-free"}
+	bDelays, sticky := routeLevelB(inst, nil, opt, res, opt.newBudget())
+	if sticky != nil && res.LevelB == nil {
+		return nil, sticky
 	}
 	res.Area = l.Area()
 	res.Width, res.Height = l.Width(), l.Height()
 	res.Delay = delay.Summarise(bDelays)
-	return res, nil
+	return res, sticky
 }
 
 // routeLevelB builds the over-cell grid on the current placement,
 // applies the obstacle specification, routes the subset of nets with
 // the core router and folds the metrics into res.
-func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, res *Result) ([]float64, error) {
+//
+// A sticky budget error (total cap, deadline, cancellation) does NOT
+// discard the work done: the partial routing is verified and folded
+// into res like a clean result, and the error is returned alongside —
+// res.LevelB != nil distinguishes "partial result available" from a
+// hard failure.
+func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, res *Result, b *robust.Budget) ([]float64, error) {
 	l := inst.Layout
 	nl, _ := inst.BuildNetlist(subset)
 	if err := nl.Validate(); err != nil {
@@ -343,21 +401,22 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 		for _, t := range n.Terminals {
 			for _, o := range obstacles {
 				if o.Mask == grid.MaskBoth && o.Rect.Contains(t.Pos) {
-					return nil, fmt.Errorf("flow: net %q terminal %v inside obstacle %v",
+					return nil, robust.Invalidf("flow: net %q terminal %v inside obstacle %v",
 						n.Name, t.Pos, o.Rect)
 				}
 			}
 		}
 	}
 	endB := phase(opt.Tracer, "level-b")
-	router := core.New(g, opt.coreConfig())
-	cres, err := router.Route(nl.Nets())
+	router := core.New(g, opt.coreConfig(b))
+	cres, sticky := router.Route(nl.Nets())
 	endB()
-	if err != nil {
-		return nil, err
+	if cres == nil {
+		return nil, sticky // structurally invalid input: no partial result
 	}
-	if cres.Failed > 0 {
-		return nil, fmt.Errorf("flow: %d level B nets unroutable", cres.Failed)
+	if cres.Failed > 0 && sticky == nil && !opt.AllowPartial {
+		return nil, fmt.Errorf("flow: %d level B nets unroutable: %w",
+			cres.Failed, robust.ErrUnroutable)
 	}
 	// Every flow result is verified against the design rules before it
 	// is reported: conflicts, per-net connectivity, and obstacle
@@ -382,6 +441,7 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 	}
 	res.LevelB = cres
 	res.BGrid = g
+	res.Degraded = cres.Failed
 	res.WireLength += cres.WireLength
 	// Routing vias only: corners and T-junctions. Terminal via stacks
 	// are part of the terminal design (paper section 2) and identical
@@ -392,13 +452,16 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 	params := delay.Default()
 	var ds []float64
 	for _, nr := range cres.Routes {
+		if nr.Err != nil {
+			continue // degraded nets have no meaningful delay estimate
+		}
 		ds = append(ds, delay.Estimate(delay.Net{
 			WireM34: nr.WireLength,
 			Vias:    len(nr.Vias),
 			Sinks:   len(nr.Terminals) - 1,
 		}, params))
 	}
-	return ds, nil
+	return ds, sticky
 }
 
 // buildBGrid constructs the level B grid: uniform tracks at the

@@ -1,0 +1,123 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"overcell/internal/gen"
+	"overcell/internal/obs"
+	"overcell/internal/robust"
+)
+
+// cancelAfter is a tracer that cancels a context after the n-th
+// EvNetDone event — a deterministic stand-in for a caller giving up
+// mid-route.
+type cancelAfter struct {
+	cancel context.CancelFunc
+	n      int
+	seen   int
+}
+
+func (c *cancelAfter) Enabled() bool { return true }
+
+func (c *cancelAfter) Emit(e obs.Event) {
+	if e.Type == obs.EvNetDone {
+		c.seen++
+		if c.seen == c.n {
+			c.cancel()
+		}
+	}
+}
+
+func TestProposedCancelMidRouteReturnsVerifiedPartial(t *testing.T) {
+	inst := build(t, gen.Ami33Like)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := &cancelAfter{cancel: cancel, n: 3}
+	res, err := Proposed(inst, Options{Ctx: ctx, Tracer: tr})
+	if !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The partial result is returned alongside the error and has
+	// already passed verify.LevelB inside routeLevelB — a dirty partial
+	// result would have surfaced as a verification error instead.
+	if res == nil || res.LevelB == nil {
+		t.Fatal("canceled run must return the verified partial result")
+	}
+	if res.Degraded == 0 {
+		t.Error("a mid-route cancel must leave degraded nets")
+	}
+	routed := 0
+	for _, nr := range res.LevelB.Routes {
+		if nr.Err == nil {
+			routed++
+		} else if !errors.Is(nr.Err, robust.ErrCanceled) {
+			t.Errorf("net %q Err = %v, want ErrCanceled", nr.Net.Name, nr.Err)
+		}
+	}
+	if routed == 0 {
+		t.Error("nets completed before the cancel must survive in the partial result")
+	}
+}
+
+func TestProposedDeadlineMapsToBudgetExhausted(t *testing.T) {
+	inst := build(t, gen.Ex3Like)
+	_, err := Proposed(inst, Options{Limits: robust.Limits{Timeout: time.Nanosecond}})
+	if !errors.Is(err, robust.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestProposedAllowPartialAcceptsDegradedNets(t *testing.T) {
+	inst := build(t, gen.Ex3Like)
+	res, err := Proposed(inst, Options{
+		Limits:       robust.Limits{NetExpansions: 2},
+		AllowPartial: true,
+	})
+	if err != nil {
+		t.Fatalf("AllowPartial run errored: %v", err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("a 2-expansion per-net budget must degrade some nets")
+	}
+	if res.Degraded != res.LevelB.Failed {
+		t.Errorf("Degraded = %d, LevelB.Failed = %d; must agree", res.Degraded, res.LevelB.Failed)
+	}
+	for _, nr := range res.LevelB.Routes {
+		if nr.Err != nil && !errors.Is(nr.Err, robust.ErrBudgetExhausted) {
+			t.Errorf("net %q Err = %v, want ErrBudgetExhausted", nr.Net.Name, nr.Err)
+		}
+	}
+}
+
+func TestProposedWithoutAllowPartialRejectsDegradedNets(t *testing.T) {
+	inst := build(t, gen.Ex3Like)
+	_, err := Proposed(inst, Options{Limits: robust.Limits{NetExpansions: 2}})
+	if err == nil {
+		t.Fatal("degraded run without AllowPartial must error")
+	}
+	if !errors.Is(err, robust.ErrUnroutable) {
+		t.Fatalf("err = %v, want ErrUnroutable", err)
+	}
+}
+
+func TestFlowEntryPointsRecoverPanics(t *testing.T) {
+	// A nil instance panics deep inside each flow; the entry-point
+	// guard must convert that into a typed ErrInternal.
+	for name, run := range map[string]func() (*Result, error){
+		"Proposed":         func() (*Result, error) { return Proposed(nil, Options{}) },
+		"TwoLayerBaseline": func() (*Result, error) { return TwoLayerBaseline(nil, Options{}) },
+		"FourLayerChannel": func() (*Result, error) { return FourLayerChannel(nil, Options{}) },
+		"ChannelFree":      func() (*Result, error) { return ChannelFree(nil, Options{}) },
+	} {
+		res, err := run()
+		if res != nil {
+			t.Errorf("%s(nil) returned a result", name)
+		}
+		if !errors.Is(err, robust.ErrInternal) {
+			t.Errorf("%s(nil) err = %v, want ErrInternal", name, err)
+		}
+	}
+}

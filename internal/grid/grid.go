@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"overcell/internal/geom"
+	"overcell/internal/robust"
 )
 
 // Layer identifies one of the two level B routing layers.
@@ -73,21 +74,23 @@ type Grid struct {
 }
 
 // New builds a grid from explicit track coordinate lists. Both lists
-// must be non-empty and strictly increasing.
+// must be non-empty and strictly increasing; violations return an
+// error matching robust.ErrInvalidInput (a zero-track grid is a
+// malformed request, not a routing failure).
 func New(xs, ys []int) (*Grid, error) {
 	if len(xs) == 0 || len(ys) == 0 {
-		return nil, fmt.Errorf("grid: need at least one track in each direction (got %d x %d)",
+		return nil, robust.Invalidf("grid: need at least one track in each direction (got %d x %d)",
 			len(xs), len(ys))
 	}
 	for i := 1; i < len(xs); i++ {
 		if xs[i] <= xs[i-1] {
-			return nil, fmt.Errorf("grid: vertical track x-coordinates not strictly increasing at index %d (%d then %d)",
+			return nil, robust.Invalidf("grid: vertical track x-coordinates not strictly increasing at index %d (%d then %d)",
 				i, xs[i-1], xs[i])
 		}
 	}
 	for j := 1; j < len(ys); j++ {
 		if ys[j] <= ys[j-1] {
-			return nil, fmt.Errorf("grid: horizontal track y-coordinates not strictly increasing at index %d (%d then %d)",
+			return nil, robust.Invalidf("grid: horizontal track y-coordinates not strictly increasing at index %d (%d then %d)",
 				j, ys[j-1], ys[j])
 		}
 	}
@@ -107,7 +110,7 @@ func New(xs, ys []int) (*Grid, error) {
 // first tracks at the origin.
 func Uniform(nx, ny, pitch int) (*Grid, error) {
 	if nx <= 0 || ny <= 0 || pitch <= 0 {
-		return nil, fmt.Errorf("grid: invalid uniform grid %dx%d pitch %d", nx, ny, pitch)
+		return nil, robust.Invalidf("grid: invalid uniform grid %dx%d pitch %d", nx, ny, pitch)
 	}
 	xs := make([]int, nx)
 	ys := make([]int, ny)
@@ -125,7 +128,7 @@ func Uniform(nx, ny, pitch int) (*Grid, error) {
 // includes at least one track per direction.
 func Cover(r geom.Rect, pitch int) (*Grid, error) {
 	if pitch <= 0 {
-		return nil, fmt.Errorf("grid: invalid pitch %d", pitch)
+		return nil, robust.Invalidf("grid: invalid pitch %d", pitch)
 	}
 	var xs, ys []int
 	for x := r.X0; x <= r.X1; x += pitch {

@@ -1,10 +1,12 @@
 package grid
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"overcell/internal/geom"
+	"overcell/internal/robust"
 )
 
 func mustUniform(t *testing.T, nx, ny, pitch int) *Grid {
@@ -34,6 +36,25 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := Uniform(5, 5, 0); err == nil {
 		t.Error("zero pitch accepted")
+	}
+}
+
+// Regression: construction errors are classified as invalid input in
+// the robust taxonomy so API boundaries can reject zero-track grids
+// without string matching.
+func TestNewErrorsMatchInvalidInput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  func() error
+	}{
+		{"empty xs", func() error { _, err := New(nil, []int{0}); return err }},
+		{"non-increasing", func() error { _, err := New([]int{0, 5, 5}, []int{0}); return err }},
+		{"zero-track uniform", func() error { _, err := Uniform(0, 5, 1); return err }},
+		{"zero-pitch cover", func() error { _, err := Cover(geom.R(0, 0, 10, 10), 0); return err }},
+	} {
+		if err := tc.err(); !errors.Is(err, robust.ErrInvalidInput) {
+			t.Errorf("%s: err = %v, want ErrInvalidInput", tc.name, err)
+		}
 	}
 }
 

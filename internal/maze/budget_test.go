@@ -1,0 +1,63 @@
+package maze
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/robust"
+	"overcell/internal/tig"
+)
+
+func TestRouteBudgetedExhaustion(t *testing.T) {
+	g, err := grid.Uniform(40, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := geom.Iv(0, 39)
+	b := robust.NewBudget(context.Background(), robust.Limits{NetExpansions: 5})
+	b.BeginNet()
+	res, ok := RouteBudgeted(g, tig.Point{Col: 0, Row: 0}, tig.Point{Col: 39, Row: 39}, full, full, nil, b)
+	if ok {
+		t.Fatal("maze route succeeded despite a 5-expansion budget")
+	}
+	if res == nil || !errors.Is(res.Err, robust.ErrBudgetExhausted) {
+		t.Fatalf("Err = %v, want ErrBudgetExhausted", res.Err)
+	}
+	// The wave stops on the very expansion that trips the budget.
+	if res.Expanded > 8 {
+		t.Errorf("expanded %d states on a 5-expansion budget", res.Expanded)
+	}
+}
+
+func TestRouteBudgetedCancellation(t *testing.T) {
+	g, err := grid.Uniform(20, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := geom.Iv(0, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := robust.NewBudget(ctx, robust.Limits{})
+	res, ok := RouteBudgeted(g, tig.Point{Col: 0, Row: 0}, tig.Point{Col: 19, Row: 19}, full, full, nil, b)
+	if ok {
+		t.Fatal("maze route succeeded despite canceled context")
+	}
+	if res == nil || !errors.Is(res.Err, robust.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", res.Err)
+	}
+}
+
+func TestRouteNilBudgetUnchanged(t *testing.T) {
+	g, err := grid.Uniform(20, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := geom.Iv(0, 19)
+	res, ok := Route(g, tig.Point{Col: 0, Row: 0}, tig.Point{Col: 19, Row: 19}, full, full)
+	if !ok || res.Err != nil {
+		t.Fatalf("unbudgeted route on open grid failed: ok=%v err=%v", ok, res.Err)
+	}
+}

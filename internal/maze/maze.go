@@ -17,6 +17,7 @@ import (
 	"overcell/internal/geom"
 	"overcell/internal/grid"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 	"overcell/internal/tig"
 )
 
@@ -32,6 +33,10 @@ type Result struct {
 	// Expanded counts the states the wave visited, the cost measure
 	// used for the TIG-vs-maze comparison.
 	Expanded int
+	// Err is non-nil when the wave was cut short by its work budget or
+	// by cancellation (it matches robust.ErrBudgetExhausted or
+	// robust.ErrCanceled) rather than exhausting the window.
+	Err error
 }
 
 // Route finds a minimum-step path between the two grid points, both of
@@ -47,7 +52,15 @@ func Route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 // expansion count, mirroring the obs.EvMBFS events of the TIG search
 // so the two baselines are comparable in one trace stream.
 func RouteTraced(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, tr obs.Tracer) (*Result, bool) {
-	res, ok := route(g, from, to, cols, rows)
+	return RouteBudgeted(g, from, to, cols, rows, tr, nil)
+}
+
+// RouteBudgeted is RouteTraced with a work budget: every wave state
+// visited is charged against b. When the budget trips mid-search the
+// wave stops, Result.Err carries the typed cause and the search
+// reports failure. A nil budget is unbounded.
+func RouteBudgeted(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, tr obs.Tracer, b *robust.Budget) (*Result, bool) {
+	res, ok := route(g, from, to, cols, rows, b)
 	if t := obs.OrNop(tr); t.Enabled() {
 		expanded := 0
 		if res != nil {
@@ -58,7 +71,12 @@ func RouteTraced(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, tr 
 	return res, ok
 }
 
-func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result, bool) {
+func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust.Budget) (*Result, bool) {
+	// One liveness poll per search; Charge amortises polling over a
+	// stride larger than many whole searches.
+	if err := b.Err(); err != nil {
+		return &Result{Err: err}, false
+	}
 	cols = cols.Intersect(geom.Iv(0, g.NX()-1))
 	rows = rows.Intersect(geom.Iv(0, g.NY()-1))
 	if !cols.Contains(from.Col) || !rows.Contains(from.Row) ||
@@ -137,6 +155,10 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval) (*Result,
 			}
 			prev[idx(nxt)] = idx(cur)
 			res.Expanded++
+			if err := b.Charge(1); err != nil {
+				res.Err = err
+				return res, false
+			}
 			if nxt.col == to.Col && nxt.row == to.Row {
 				goal = nxt
 				found = true

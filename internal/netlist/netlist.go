@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"overcell/internal/geom"
+	"overcell/internal/robust"
 )
 
 // Class describes the functional role of a net. The partitioning
@@ -69,23 +70,30 @@ type Net struct {
 // Pins returns the number of terminals of the net.
 func (n *Net) Pins() int { return len(n.Terminals) }
 
-// BBox returns the bounding rectangle of the net's terminals.
-// It panics if the net has no terminals; validated netlists never do.
-func (n *Net) BBox() geom.Rect {
+// BBox returns the bounding rectangle of the net's terminals. A net
+// without terminals is malformed input (validated netlists never
+// contain one) and yields a zero rectangle and an error matching
+// robust.ErrInvalidInput.
+func (n *Net) BBox() (geom.Rect, error) {
 	if len(n.Terminals) == 0 {
-		panic("netlist: BBox of net without terminals")
+		return geom.Rect{}, robust.Invalidf("netlist: BBox of net %q (#%d) without terminals",
+			n.Name, n.ID)
 	}
 	r := geom.RectFromPoints(n.Terminals[0].Pos, n.Terminals[0].Pos)
 	for _, t := range n.Terminals[1:] {
 		r = r.Union(geom.RectFromPoints(t.Pos, t.Pos))
 	}
-	return r
+	return r, nil
 }
 
 // HalfPerimeter returns the half-perimeter wire length estimate of the
-// net, the classic lower bound used for ordering and reporting.
+// net, the classic lower bound used for ordering and reporting. A
+// terminal-less net has no extent and reports 0.
 func (n *Net) HalfPerimeter() int {
-	b := n.BBox()
+	b, err := n.BBox()
+	if err != nil {
+		return 0
+	}
 	return b.Width() + b.Height()
 }
 
@@ -146,16 +154,18 @@ func (nl *Netlist) TotalPins() int {
 
 // Validate checks structural soundness: every net has at least two
 // terminals and no net has two terminals at the same position.
+// Violations return an error matching robust.ErrInvalidInput, so API
+// boundaries can distinguish malformed requests from routing failures.
 func (nl *Netlist) Validate() error {
 	for _, n := range nl.nets {
 		if len(n.Terminals) < 2 {
-			return fmt.Errorf("netlist: net %q (#%d) has %d terminal(s); need at least 2",
+			return robust.Invalidf("netlist: net %q (#%d) has %d terminal(s); need at least 2",
 				n.Name, n.ID, len(n.Terminals))
 		}
 		seen := make(map[geom.Point]bool, len(n.Terminals))
 		for _, t := range n.Terminals {
 			if seen[t.Pos] {
-				return fmt.Errorf("netlist: net %q (#%d) has duplicate terminal at %v",
+				return robust.Invalidf("netlist: net %q (#%d) has duplicate terminal at %v",
 					n.Name, n.ID, t.Pos)
 			}
 			seen[t.Pos] = true

@@ -1,9 +1,11 @@
 package netlist
 
 import (
+	"errors"
 	"testing"
 
 	"overcell/internal/geom"
+	"overcell/internal/robust"
 )
 
 func TestAddAssignsIDs(t *testing.T) {
@@ -24,7 +26,11 @@ func TestAddAssignsIDs(t *testing.T) {
 func TestNetBBoxAndHalfPerimeter(t *testing.T) {
 	nl := New()
 	n := nl.AddPoints("n", Signal, geom.Pt(2, 8), geom.Pt(10, 1), geom.Pt(5, 5))
-	if got := n.BBox(); got != geom.R(2, 1, 10, 8) {
+	got, err := n.BBox()
+	if err != nil {
+		t.Fatalf("BBox error: %v", err)
+	}
+	if got != geom.R(2, 1, 10, 8) {
 		t.Errorf("BBox = %v", got)
 	}
 	if got := n.HalfPerimeter(); got != 15 {
@@ -32,14 +38,21 @@ func TestNetBBoxAndHalfPerimeter(t *testing.T) {
 	}
 }
 
-func TestBBoxPanicsOnEmptyNet(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on empty net BBox")
-		}
-	}()
-	n := &Net{}
-	n.BBox()
+// Regression: BBox of a terminal-less net used to panic; it must now
+// return a typed ErrInvalidInput (and HalfPerimeter must degrade to 0)
+// so degenerate inputs surface as errors at the API boundary.
+func TestBBoxEmptyNetReturnsInvalidInput(t *testing.T) {
+	n := &Net{Name: "empty"}
+	r, err := n.BBox()
+	if !errors.Is(err, robust.ErrInvalidInput) {
+		t.Fatalf("empty net BBox error = %v, want ErrInvalidInput", err)
+	}
+	if r != (geom.Rect{}) {
+		t.Errorf("empty net BBox rect = %v, want zero", r)
+	}
+	if hp := n.HalfPerimeter(); hp != 0 {
+		t.Errorf("empty net HalfPerimeter = %d, want 0", hp)
+	}
 }
 
 func TestValidate(t *testing.T) {
@@ -51,14 +64,14 @@ func TestValidate(t *testing.T) {
 
 	bad := New()
 	bad.AddPoints("single", Signal, geom.Pt(0, 0))
-	if err := bad.Validate(); err == nil {
-		t.Error("single-terminal net accepted")
+	if err := bad.Validate(); !errors.Is(err, robust.ErrInvalidInput) {
+		t.Errorf("single-terminal net error = %v, want ErrInvalidInput", err)
 	}
 
 	dup := New()
 	dup.AddPoints("dup", Signal, geom.Pt(3, 3), geom.Pt(3, 3))
-	if err := dup.Validate(); err == nil {
-		t.Error("duplicate-terminal net accepted")
+	if err := dup.Validate(); !errors.Is(err, robust.ErrInvalidInput) {
+		t.Errorf("duplicate-terminal net error = %v, want ErrInvalidInput", err)
 	}
 }
 

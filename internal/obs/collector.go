@@ -88,6 +88,10 @@ type Collector struct {
 	RipupWins     int64
 	RipupPasses   int64
 
+	// Work budgets.
+	BudgetTrips  int64 // all budget events
+	BudgetSticky int64 // run-terminating trips (total cap, deadline, cancel)
+
 	// Phase wall times, nanoseconds, keyed by phase name.
 	PhaseNS map[string]int64
 }
@@ -140,6 +144,11 @@ func (c *Collector) Emit(e Event) {
 		}
 	case EvRipupPass:
 		c.RipupPasses++
+	case EvBudget:
+		c.BudgetTrips++
+		if e.Failed {
+			c.BudgetSticky++
+		}
 	case EvMaze:
 		c.Expanded += int64(e.Expanded)
 	case EvPhaseEnd:
@@ -195,6 +204,7 @@ func (c *Collector) Summary() string {
 	fmt.Fprintf(&b, " (relaxed retries: %d)\n", c.RelaxedRetries)
 	fmt.Fprintf(&b, "rip-up: %d passes, %d attempts, %d recovered\n",
 		c.RipupPasses, c.RipupAttempts, c.RipupWins)
+	fmt.Fprintf(&b, "budget: %d trips (%d sticky)\n", c.BudgetTrips, c.BudgetSticky)
 	phases := make([]string, 0, len(c.PhaseNS))
 	for p := range c.PhaseNS {
 		phases = append(phases, p)

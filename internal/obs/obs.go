@@ -64,6 +64,13 @@ const (
 	// EvMaze reports one Lee-style maze search (the comparison
 	// baseline): Expanded wave states, Failed when no path was found.
 	EvMaze EventType = "maze"
+	// EvBudget reports one work-budget trip: Net is the net being routed
+	// when the budget gave out (empty for run-level trips), Phase the
+	// routing phase, Expanded the expansions charged at that point, and
+	// Failed distinguishes sticky run-terminating trips (true: total
+	// cap, deadline, cancellation) from transient per-net exhaustion
+	// (false: the run continues with the next net degraded).
+	EvBudget EventType = "budget"
 )
 
 // Event is one observation. It is a flat union: every event type uses

@@ -23,11 +23,12 @@ import (
 
 // Figure1 builds the Figure 1 instance. It returns the grid (with nets
 // A and C committed and obstacle O1 placed) and the two terminals of
-// net B: (v2,h2) and (v6,h4).
-func Figure1() (*grid.Grid, tig.Point, tig.Point) {
+// net B: (v2,h2) and (v6,h4). Grid construction failures propagate as
+// an error (matching robust.ErrInvalidInput) instead of panicking.
+func Figure1() (*grid.Grid, tig.Point, tig.Point, error) {
 	g, err := grid.Uniform(6, 4, 10)
 	if err != nil {
-		panic("paper: figure 1 grid: " + err.Error())
+		return nil, tig.Point{}, tig.Point{}, fmt.Errorf("paper: figure 1 grid: %w", err)
 	}
 	// Net A: a vertical run occupying track v1 entirely.
 	g.CommitVWire(0, geom.Iv(0, 3))
@@ -40,14 +41,17 @@ func Figure1() (*grid.Grid, tig.Point, tig.Point) {
 	g.BlockRect(geom.R(30, 20, 30, 20), grid.MaskBoth)
 	from := tig.Point{Col: 1, Row: 1} // edge (h2, v2)
 	to := tig.Point{Col: 5, Row: 3}   // edge (h4, v6)
-	return g, from, to
+	return g, from, to, nil
 }
 
 // Figure1Text renders Figure 1: the instance as ASCII art and the
 // Track Intersection Graph adjacency. Nets A and C are drawn as wires
 // ('|'), the obstacle as '#', and net B's terminals as 'o'.
 func Figure1Text() string {
-	g, from, to := Figure1()
+	g, from, to, err := Figure1()
+	if err != nil {
+		return "Figure 1: " + err.Error() + "\n"
+	}
 	// A display-only result so the pre-routed nets and the terminals
 	// show up with wire and terminal glyphs.
 	disp := &core.Result{Routes: []*core.NetRoute{
@@ -71,7 +75,10 @@ func Figure1Text() string {
 // start (finds the two two-corner paths (h2,v3,h4,v6) and
 // (h2,v5,h4,v6)).
 func Figure2Search() (fromV, fromH *tig.Result, ok bool) {
-	g, from, to := Figure1()
+	g, from, to, err := Figure1()
+	if err != nil {
+		return nil, nil, false
+	}
 	rv, okV := tig.Search(g, from, to, tig.Config{Starts: tig.StartVertical})
 	rh, okH := tig.Search(g, from, to, tig.Config{Starts: tig.StartHorizontal})
 	return rv, rh, okV && okH

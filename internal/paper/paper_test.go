@@ -9,7 +9,10 @@ import (
 )
 
 func TestFigure1Instance(t *testing.T) {
-	g, from, to := Figure1()
+	g, from, to, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
 	if g.NX() != 6 || g.NY() != 4 {
 		t.Fatalf("grid %dx%d, want 6x4", g.NX(), g.NY())
 	}
@@ -84,7 +87,10 @@ func TestFigure3Renders(t *testing.T) {
 }
 
 func TestCombinedSearchAgreesWithSplit(t *testing.T) {
-	g, from, to := Figure1()
+	g, from, to, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
 	both, ok := tig.Search(g, from, to, tig.Config{})
 	if !ok {
 		t.Fatal("combined search failed")

@@ -1,0 +1,198 @@
+// Package fault deterministically manufactures hostile routing
+// instances for robustness testing: degenerate netlists (empty,
+// single-pin and duplicate-terminal nets), obstacle walls (whole rows
+// of sensitive cells, oversized power rails overlapping them), and
+// cramped layouts with next to no routing space. The same seed always
+// produces the same case, so any failure a fuzz run or the harness
+// test finds is replayable from its seed alone.
+//
+// The package sits under internal/robust but is a separate package:
+// robust itself is imported by the low-level routing packages and must
+// stay std-lib only, while the mutators here need the gen instance
+// machinery.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"overcell/internal/gen"
+	"overcell/internal/netlist"
+)
+
+// Case is one deterministic hostile instance plus the provenance of
+// what was done to it.
+type Case struct {
+	Name string
+	Inst *gen.Instance
+	// Mutations names the instance mutators applied, in order.
+	Mutations []string
+}
+
+// Mutator corrupts an instance in place and returns the mutation name.
+type Mutator func(*rand.Rand, *gen.Instance) string
+
+// Mutators is the registry of instance corruptions, in a fixed order
+// so a byte mask selects them reproducibly.
+var Mutators = []Mutator{
+	EmptyNet,
+	SinglePinNet,
+	DuplicateTerminal,
+	SensitiveWall,
+	GiantRails,
+	NoSignalSpace,
+}
+
+// EmptyNet appends a net with no pins at all — the netlist layer must
+// reject it as invalid input, not index into missing terminals.
+func EmptyNet(_ *rand.Rand, inst *gen.Instance) string {
+	inst.Nets = append(inst.Nets, gen.NetSpec{Name: "f_empty", Class: netlist.Signal})
+	return "empty-net"
+}
+
+// SinglePinNet appends a net with one pin borrowed from an existing
+// signal net: one terminal, nothing to connect.
+func SinglePinNet(rng *rand.Rand, inst *gen.Instance) string {
+	if donor := pickSignal(rng, inst); donor != nil {
+		inst.Nets = append(inst.Nets, gen.NetSpec{
+			Name: "f_single", Class: netlist.Signal,
+			Pins: donor.Pins[:1],
+		})
+	}
+	return "single-pin-net"
+}
+
+// DuplicateTerminal doubles one pin of a signal net, producing two
+// identical terminals on the same net.
+func DuplicateTerminal(rng *rand.Rand, inst *gen.Instance) string {
+	if victim := pickSignal(rng, inst); victim != nil && len(victim.Pins) > 0 {
+		p := victim.Pins[rng.Intn(len(victim.Pins))]
+		victim.Pins = append(victim.Pins, p)
+	}
+	return "duplicate-terminal"
+}
+
+// SensitiveWall marks every cell of one row sensitive, turning the row
+// into a solid both-layer obstacle wall. Cells that already carry pins
+// then have terminals inside an obstacle — invalid input the flow must
+// reject — and rows without pins become walls the router must route
+// around.
+func SensitiveWall(rng *rand.Rand, inst *gen.Instance) string {
+	cells := inst.Layout.Cells()
+	if len(cells) == 0 {
+		return "sensitive-wall"
+	}
+	row := cells[rng.Intn(len(cells))].Row()
+	for _, c := range cells {
+		if c.Row() == row {
+			c.Sensitive = true
+		}
+	}
+	return "sensitive-wall"
+}
+
+// GiantRails inflates the power rails until they overlap the cell
+// obstacles and each other, blanketing the horizontal layer.
+func GiantRails(rng *rand.Rand, inst *gen.Instance) string {
+	inst.RailHalfWidth = 100 + rng.Intn(400)
+	return "giant-rails"
+}
+
+// NoSignalSpace drops every signal net's pins onto a single cell pair,
+// concentrating all level B traffic into one congested pocket.
+func NoSignalSpace(rng *rand.Rand, inst *gen.Instance) string {
+	var donors []gen.NetSpec
+	for _, s := range inst.Nets {
+		if s.Class == netlist.Signal && len(s.Pins) >= 2 {
+			donors = append(donors, s)
+		}
+	}
+	if len(donors) < 2 {
+		return "no-signal-space"
+	}
+	hot := donors[rng.Intn(len(donors))]
+	for i := range inst.Nets {
+		s := &inst.Nets[i]
+		if s.Class != netlist.Signal || len(s.Pins) < 2 || s.Name == hot.Name {
+			continue
+		}
+		// Keep each net's own pins but anchor its first pin in the hot
+		// pocket so every net fights for the same window.
+		s.Pins[0] = hot.Pins[0]
+	}
+	return "no-signal-space"
+}
+
+func pickSignal(rng *rand.Rand, inst *gen.Instance) *gen.NetSpec {
+	var idx []int
+	for i, s := range inst.Nets {
+		if s.Class == netlist.Signal && len(s.Pins) > 0 {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	return &inst.Nets[idx[rng.Intn(len(idx))]]
+}
+
+// Base builds the small randomly shaped base instance for a seed and
+// returns the generator's rng so callers can draw further mutation
+// choices from the same deterministic stream. A generation error (the
+// parameter fuzz can produce unsatisfiable layouts) is a legitimate
+// rejected-input outcome, not a harness failure.
+func Base(seed int64) (*gen.Instance, *rand.Rand, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p := gen.Params{
+		Name: fmt.Sprintf("fault%d", seed), Seed: rng.Int63(),
+		Rows:  2 + rng.Intn(3),
+		Cells: 4 + rng.Intn(12),
+		CellWMin: 80 + rng.Intn(120), CellWMax: 240 + rng.Intn(200),
+		CellHMin: 60 + rng.Intn(80), CellHMax: 160 + rng.Intn(120),
+		RowGap: rng.Intn(96), Margin: rng.Intn(64),
+		SensitivePerMille: rng.Intn(400),
+		SignalNets:        4 + rng.Intn(24),
+		LevelANets:        []int{3 + rng.Intn(4), 3 + rng.Intn(4)},
+		RailHalfWidth:     rng.Intn(12),
+	}
+	if p.Cells < p.Rows {
+		p.Cells = p.Rows
+	}
+	inst, err := gen.Generate(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, rng, nil
+}
+
+// FromSeed builds the hostile case for a seed: the Base instance with
+// zero to three randomly chosen mutations applied.
+func FromSeed(seed int64) (*Case, error) {
+	inst, rng, err := Base(seed)
+	if err != nil {
+		return nil, err
+	}
+	return Mutate(rng, inst, rng.Intn(4))
+}
+
+// Mutate applies n randomly chosen mutations from the registry.
+func Mutate(rng *rand.Rand, inst *gen.Instance, n int) (*Case, error) {
+	c := &Case{Name: inst.Name, Inst: inst}
+	for i := 0; i < n; i++ {
+		m := Mutators[rng.Intn(len(Mutators))]
+		c.Mutations = append(c.Mutations, m(rng, inst))
+	}
+	return c, nil
+}
+
+// MutateMask applies the mutators selected by mask bits (bit i selects
+// Mutators[i]), for fuzz inputs that choose corruptions directly.
+func MutateMask(rng *rand.Rand, inst *gen.Instance, mask uint8) *Case {
+	c := &Case{Name: inst.Name, Inst: inst}
+	for i, m := range Mutators {
+		if mask&(1<<i) != 0 {
+			c.Mutations = append(c.Mutations, m(rng, inst))
+		}
+	}
+	return c
+}

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"overcell/internal/core"
+	"overcell/internal/flow"
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/robust"
+	"overcell/internal/tig"
+)
+
+// FuzzProposed drives the whole proposed flow with fuzzer-chosen
+// instance seeds, mutation masks and budgets. The invariants are the
+// graceful-degradation contract: no panic escapes (the entry-point
+// guard would convert one into a "panic:" ErrInternal — treated as a
+// failure here), the work budget is respected, and partial results
+// stay internally consistent.
+func FuzzProposed(f *testing.F) {
+	for seed := int64(0); seed < 6; seed++ {
+		f.Add(seed, uint8(seed*37), uint16(500<<uint(seed%4)))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, mask uint8, netBudget uint16) {
+		inst, rng, err := Base(seed)
+		if err != nil {
+			return // unsatisfiable layout rejected by the generator
+		}
+		c := MutateMask(rng, inst, mask)
+		cfg := core.DefaultConfig()
+		total := int64(harnessTotalBudget)
+		b := robust.NewBudget(context.Background(), robust.Limits{
+			NetExpansions:   int64(netBudget) + 1,
+			TotalExpansions: total,
+			Timeout:         10 * time.Second,
+		})
+		cfg.Budget = b
+		res, err := flow.Proposed(c.Inst, flow.Options{Core: &cfg, AllowPartial: true})
+		if err != nil && strings.Contains(err.Error(), "panic:") {
+			t.Fatalf("seed %d mask %02x (%v): flow panicked: %v", seed, mask, c.Mutations, err)
+		}
+		if used := b.Used(); used > total+4096 {
+			t.Fatalf("seed %d mask %02x: budget not respected: used %d of %d", seed, mask, used, total)
+		}
+		if err == nil && res != nil && res.LevelB != nil && res.Degraded != res.LevelB.Failed {
+			t.Fatalf("seed %d mask %02x: Degraded=%d, Failed=%d", seed, mask, res.Degraded, res.LevelB.Failed)
+		}
+	})
+}
+
+// FuzzTIGSearch drives the MBFS directly over randomly obstructed
+// grids with tiny budgets: no panic, any returned path structurally
+// valid, budget overshoot bounded by one expansion batch.
+func FuzzTIGSearch(f *testing.F) {
+	f.Add(uint8(20), uint8(20), uint16(300), int64(5))
+	f.Add(uint8(3), uint8(60), uint16(1), int64(11))
+	f.Add(uint8(50), uint8(2), uint16(4000), int64(23))
+	f.Fuzz(func(t *testing.T, nxR, nyR uint8, budget uint16, seed int64) {
+		nx := int(nxR)%60 + 2
+		ny := int(nyR)%60 + 2
+		g, err := grid.Uniform(nx, ny, 10)
+		if err != nil {
+			t.Fatalf("uniform %dx%d: %v", nx, ny, err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		masks := []grid.Mask{grid.MaskH, grid.MaskV, grid.MaskBoth}
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			x0, y0 := rng.Intn(nx)*10, rng.Intn(ny)*10
+			g.BlockRect(geom.R(x0, y0, x0+rng.Intn(nx)*10, y0+rng.Intn(ny)*10),
+				masks[rng.Intn(len(masks))])
+		}
+		var free []tig.Point
+		for c := 0; c < nx && len(free) < 2; c++ {
+			for r := 0; r < ny && len(free) < 2; r++ {
+				if g.PointFree(c, r) {
+					free = append(free, tig.Point{Col: c, Row: r})
+				}
+			}
+		}
+		if len(free) < 2 {
+			return // fully blocked: nothing to search
+		}
+		from, to := free[0], free[1]
+		netMax := int64(budget) + 1
+		b := robust.NewBudget(context.Background(), robust.Limits{NetExpansions: netMax})
+		b.BeginNet()
+		res, ok := tig.Search(g, from, to, tig.Config{Budget: b})
+		if ok {
+			for _, p := range res.Paths {
+				if err := p.Validate(from, to); err != nil {
+					t.Fatalf("invalid path on %dx%d seed %d: %v", nx, ny, seed, err)
+				}
+			}
+		} else if res != nil && res.Err != nil {
+			if !errors.Is(res.Err, robust.ErrBudgetExhausted) {
+				t.Fatalf("unexpected search error: %v", res.Err)
+			}
+		}
+		// Overshoot is bounded by one expand call's children, itself
+		// bounded by the longest track span.
+		if used := b.NetUsed(); used > netMax+int64(nx+ny) {
+			t.Fatalf("budget overshoot: used %d of %d on %dx%d", used, netMax, nx, ny)
+		}
+	})
+}

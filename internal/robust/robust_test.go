@@ -1,0 +1,196 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWrapProvenance(t *testing.T) {
+	base := fmt.Errorf("no path: %w", ErrUnroutable)
+	err := Wrap("level-b", "s042", base)
+	if !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("wrapped error lost sentinel: %v", err)
+	}
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As failed on %T", err)
+	}
+	if re.Phase != "level-b" || re.Net != "s042" {
+		t.Errorf("provenance = (%q,%q), want (level-b,s042)", re.Phase, re.Net)
+	}
+	want := `level-b: net "s042": no path: unroutable`
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestWrapCollapsesDuplicates(t *testing.T) {
+	err := Wrap("level-b", "n", ErrUnroutable)
+	again := Wrap("level-b", "n", err)
+	if again != err {
+		t.Errorf("identical re-wrap not collapsed: %v", again)
+	}
+	// Different provenance wraps again.
+	outer := Wrap("flow", "", err)
+	var re *Error
+	if !errors.As(outer, &re) || re.Phase != "flow" {
+		t.Errorf("outer wrap lost: %v", outer)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if err := Wrap("p", "n", nil); err != nil {
+		t.Errorf("Wrap(nil) = %v, want nil", err)
+	}
+}
+
+func TestInvalidf(t *testing.T) {
+	err := Invalidf("net %q has %d terminals", "x", 1)
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("Invalidf lost sentinel: %v", err)
+	}
+	want := `net "x" has 1 terminals: invalid input`
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("flow.Test", &err)
+		panic("boom")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered panic is not ErrInternal: %v", err)
+	}
+	var re *Error
+	if !errors.As(err, &re) || re.Phase != "flow.Test" {
+		t.Errorf("missing phase provenance: %v", err)
+	}
+}
+
+func TestRecoverPreservesError(t *testing.T) {
+	want := errors.New("ordinary failure")
+	f := func() (err error) {
+		defer Recover("p", &err)
+		return want
+	}
+	if err := f(); err != want {
+		t.Errorf("Recover clobbered error: %v", err)
+	}
+}
+
+func TestNilBudgetIsUnbounded(t *testing.T) {
+	var b *Budget
+	b.BeginNet()
+	if err := b.Charge(1 << 30); err != nil {
+		t.Errorf("nil budget Charge = %v", err)
+	}
+	if err := b.Err(); err != nil {
+		t.Errorf("nil budget Err = %v", err)
+	}
+	if b.Used() != 0 || b.NetUsed() != 0 {
+		t.Errorf("nil budget counters non-zero")
+	}
+}
+
+func TestPerNetBudgetResets(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{NetExpansions: 10})
+	b.BeginNet()
+	if err := b.Charge(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := b.Charge(1)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over per-net budget = %v, want ErrBudgetExhausted", err)
+	}
+	// Per-net exhaustion is transient: the next net starts fresh.
+	b.BeginNet()
+	if err := b.Charge(5); err != nil {
+		t.Errorf("next net should have a fresh budget, got %v", err)
+	}
+	if b.Used() != 16 {
+		t.Errorf("Used = %d, want 16", b.Used())
+	}
+	if b.NetUsed() != 5 {
+		t.Errorf("NetUsed = %d, want 5", b.NetUsed())
+	}
+}
+
+func TestTotalBudgetSticky(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{TotalExpansions: 8})
+	if err := b.Charge(9); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over total budget = %v", err)
+	}
+	b.BeginNet()
+	if err := b.Charge(1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("total exhaustion must be sticky, got %v", err)
+	}
+	if err := b.Err(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("Err() after total exhaustion = %v", err)
+	}
+}
+
+func TestCancelMapsToErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{})
+	cancel()
+	if err := b.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context Err = %v, want ErrCanceled", err)
+	}
+	// Sticky: Charge fails fast afterwards.
+	if err := b.Charge(1); !errors.Is(err, ErrCanceled) {
+		t.Errorf("Charge after cancel = %v", err)
+	}
+}
+
+func TestCancelSurfacesThroughChargePolling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewBudget(ctx, Limits{})
+	cancel()
+	// The poll stride means a small charge may not notice immediately;
+	// charging more than one stride must.
+	var err error
+	for i := 0; i < 3 && err == nil; i++ {
+		err = b.Charge(pollStride)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancellation never surfaced through Charge: %v", err)
+	}
+}
+
+func TestDeadlineMapsToBudgetExhausted(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{Deadline: time.Now().Add(-time.Second)})
+	if err := b.Err(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expired deadline Err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestContextDeadlineMapsToBudgetExhausted(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	b := NewBudget(ctx, Limits{})
+	if err := b.Err(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("ctx deadline Err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestLimitsZero(t *testing.T) {
+	if !(Limits{}).Zero() {
+		t.Error("zero Limits not Zero")
+	}
+	if (Limits{NetExpansions: 1}).Zero() || (Limits{Timeout: time.Second}).Zero() {
+		t.Error("non-zero Limits reported Zero")
+	}
+	// An unbounded budget over a background context never trips.
+	b := NewBudget(nil, Limits{})
+	for i := 0; i < 5; i++ {
+		if err := b.Charge(pollStride); err != nil {
+			t.Fatalf("unbounded budget tripped: %v", err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package steiner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/robust"
+)
+
+func manyPts(n int) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, geom.Pt(i*7%50, i*13%50))
+	}
+	return pts
+}
+
+func TestMSTBudgetedExhaustionReturnsPartial(t *testing.T) {
+	pts := manyPts(30)
+	b := robust.NewBudget(context.Background(), robust.Limits{NetExpansions: 90})
+	b.BeginNet()
+	edges, _, err := MSTBudgeted(pts, b)
+	if err == nil {
+		t.Fatal("want budget exhaustion on 30-point MST with 90-op budget")
+	}
+	if !errors.Is(err, robust.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if len(edges) == 0 || len(edges) >= len(pts)-1 {
+		t.Errorf("partial MST has %d edges, want between 1 and %d", len(edges), len(pts)-2)
+	}
+}
+
+func TestMSTBudgetedMatchesMST(t *testing.T) {
+	pts := manyPts(12)
+	wantEdges, wantTotal := MST(pts)
+	edges, total, err := MSTBudgeted(pts, robust.NewBudget(context.Background(), robust.Limits{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal || len(edges) != len(wantEdges) {
+		t.Errorf("budgeted MST differs: %d edges len %d, want %d edges len %d",
+			len(edges), total, len(wantEdges), wantTotal)
+	}
+}
+
+func TestRSTBudgetedCancellation(t *testing.T) {
+	pts := manyPts(20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tree, err := RSTBudgeted(pts, robust.NewBudget(ctx, robust.Limits{}))
+	if err == nil || !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if tree == nil {
+		t.Fatal("partial tree must be non-nil")
+	}
+}
+
+func TestRSTBudgetedMatchesRST(t *testing.T) {
+	pts := manyPts(12)
+	want := RST(pts)
+	got, err := RSTBudgeted(pts, robust.NewBudget(context.Background(), robust.Limits{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Length != want.Length || len(got.Segments) != len(want.Segments) {
+		t.Errorf("budgeted RST differs: len %d segs %d, want len %d segs %d",
+			got.Length, len(got.Segments), want.Length, len(want.Segments))
+	}
+}

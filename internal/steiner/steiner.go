@@ -13,6 +13,7 @@ package steiner
 
 import (
 	"overcell/internal/geom"
+	"overcell/internal/robust"
 )
 
 // Edge is one connection of a spanning tree, between two of the input
@@ -28,8 +29,20 @@ func (e Edge) Length() int { return e.From.Manhattan(e.To) }
 // with Prim's algorithm (O(n²), exact). It returns the edges and the
 // total length. Fewer than two points yield no edges.
 func MST(pts []geom.Point) ([]Edge, int) {
+	edges, total, _ := MSTBudgeted(pts, nil)
+	return edges, total
+}
+
+// MSTBudgeted is MST with a work budget: each Prim step charges the
+// O(n) candidate scan it performs. On budget exhaustion it returns the
+// partial tree built so far together with the typed error. A nil
+// budget is unbounded.
+func MSTBudgeted(pts []geom.Point, b *robust.Budget) ([]Edge, int, error) {
 	if len(pts) < 2 {
-		return nil, 0
+		return nil, 0, nil
+	}
+	if err := b.Err(); err != nil {
+		return nil, 0, err
 	}
 	const inf = int(^uint(0) >> 1)
 	n := len(pts)
@@ -47,6 +60,9 @@ func MST(pts []geom.Point) ([]Edge, int) {
 	var edges []Edge
 	total := 0
 	for added := 1; added < n; added++ {
+		if err := b.Charge(n); err != nil {
+			return edges, total, err
+		}
 		best, bestD := -1, inf
 		for j := 0; j < n; j++ {
 			if !inTree[j] && dist[j] < bestD {
@@ -65,7 +81,7 @@ func MST(pts []geom.Point) ([]Edge, int) {
 			}
 		}
 	}
-	return edges, total
+	return edges, total, nil
 }
 
 // Seg is one axis-parallel wire segment of a realised tree.
@@ -109,13 +125,29 @@ type Tree struct {
 // closest to. Each attachment is embedded as an L whose corner sits at
 // (terminal.X, attach.Y).
 func RST(pts []geom.Point) *Tree {
+	t, _ := RSTBudgeted(pts, nil)
+	return t
+}
+
+// RSTBudgeted is RST with a work budget: each attachment step charges
+// the candidate scan (remaining terminals × component segments) it
+// performs. On budget exhaustion it returns the partial tree built so
+// far together with the typed error. A nil budget is unbounded.
+func RSTBudgeted(pts []geom.Point, b *robust.Budget) (*Tree, error) {
 	t := &Tree{Terminals: append([]geom.Point(nil), pts...)}
 	if len(pts) < 2 {
-		return t
+		return t, nil
+	}
+	if err := b.Err(); err != nil {
+		return t, err
 	}
 	left := append([]geom.Point(nil), pts[1:]...)
 	seed := pts[0]
 	for len(left) > 0 {
+		scan := len(left) * (1 + len(t.Segments))
+		if err := b.Charge(scan); err != nil {
+			return t, err
+		}
 		bestIdx, bestD := -1, 0
 		var bestQ geom.Point
 		for i, p := range left {
@@ -129,7 +161,7 @@ func RST(pts []geom.Point) *Tree {
 		t.attach(p, bestQ)
 		t.Length += bestD
 	}
-	return t
+	return t, nil
 }
 
 // nearest returns the component point closest to p: the seed when the

@@ -1,0 +1,72 @@
+package tig
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"overcell/internal/grid"
+	"overcell/internal/robust"
+)
+
+// openGrid returns an unobstructed surface large enough that an
+// unbounded search would expand far more nodes than the tiny budgets
+// used below.
+func openGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.Uniform(40, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSearchBudgetExhaustion(t *testing.T) {
+	g := openGrid(t)
+	b := robust.NewBudget(context.Background(), robust.Limits{NetExpansions: 8})
+	b.BeginNet()
+	res, ok := Search(g, Point{Col: 0, Row: 0}, Point{Col: 39, Row: 39}, Config{Budget: b})
+	if ok {
+		t.Fatal("search succeeded despite an 8-expansion budget")
+	}
+	if res == nil || res.Err == nil {
+		t.Fatal("budget-tripped search must report Result.Err")
+	}
+	if !errors.Is(res.Err, robust.ErrBudgetExhausted) {
+		t.Fatalf("Err = %v, want ErrBudgetExhausted", res.Err)
+	}
+	// The search must stop near the budget, not run the window dry. The
+	// overshoot is bounded by one frontier level's worth of children.
+	if res.Expanded > 200 {
+		t.Errorf("expanded %d nodes on an 8-expansion budget", res.Expanded)
+	}
+}
+
+func TestSearchCancellation(t *testing.T) {
+	g := openGrid(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := robust.NewBudget(ctx, robust.Limits{})
+	res, ok := Search(g, Point{Col: 0, Row: 0}, Point{Col: 39, Row: 39}, Config{Budget: b})
+	if ok {
+		t.Fatal("search succeeded despite canceled context")
+	}
+	if res == nil || !errors.Is(res.Err, robust.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", resultErr(res))
+	}
+}
+
+func TestSearchNilBudgetUnbounded(t *testing.T) {
+	g := openGrid(t)
+	res, ok := Search(g, Point{Col: 0, Row: 0}, Point{Col: 39, Row: 39}, Config{})
+	if !ok || res.Err != nil {
+		t.Fatalf("unbudgeted search on open grid failed: ok=%v err=%v", ok, resultErr(res))
+	}
+}
+
+func resultErr(r *Result) error {
+	if r == nil {
+		return nil
+	}
+	return r.Err
+}

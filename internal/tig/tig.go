@@ -25,6 +25,7 @@ import (
 
 	"overcell/internal/geom"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 )
 
 // Surface is the occupancy oracle the search consults. *grid.Grid
@@ -179,6 +180,13 @@ type Config struct {
 	// call summarising levels, expansions, prunes and paths found. Nil
 	// means no tracing.
 	Tracer obs.Tracer
+	// Budget meters the search: every path-selection-tree node created
+	// is charged against it, so a hostile window cannot make one
+	// search run unbounded. When the budget trips mid-search the
+	// search stops, Result.Err carries the typed cause
+	// (robust.ErrBudgetExhausted or robust.ErrCanceled) and Search
+	// reports failure. Nil means unbounded.
+	Budget *robust.Budget
 }
 
 // Starts selects the MBFS start tracks.
@@ -218,6 +226,11 @@ type Result struct {
 	// Pruned counts expansions rejected by the examine-each-vertex-once
 	// rule — the effort the paper's pruning avoids re-spending.
 	Pruned int
+	// Err is non-nil when the search was cut short by its work budget
+	// or by cancellation (it matches robust.ErrBudgetExhausted or
+	// robust.ErrCanceled); the search found no path *within budget*,
+	// which is weaker than exhausting the window.
+	Err error
 }
 
 // Search finds all minimum-corner paths from terminal `from` to
@@ -228,6 +241,12 @@ type Result struct {
 func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 	if from == to {
 		return &Result{Paths: []Path{{Points: []Point{from}}}}, true
+	}
+	// One liveness poll per search: Charge amortises context/clock
+	// polling over pollStride expansions, so a search smaller than the
+	// stride would otherwise never observe cancellation.
+	if err := cfg.Budget.Err(); err != nil {
+		return &Result{Err: err}, false
 	}
 	cb := cfg.ColBounds
 	rb := cfg.RowBounds
@@ -255,6 +274,7 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 		relaxed:  cfg.RelaxedVisit,
 		maxPaths: maxPaths,
 		visited:  make(map[Track]int),
+		budget:   cfg.Budget,
 	}
 	// Two MBFS runs from the same terminal: one starting on its
 	// vertical track, one on its horizontal track (paper section 3.1).
@@ -303,6 +323,11 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 		for _, n := range frontier {
 			next = append(next, st.expand(n)...)
 		}
+		if st.err != nil {
+			res.Err = st.err
+			finish(false)
+			return res, false
+		}
 		frontier = next
 	}
 	finish(false)
@@ -318,6 +343,8 @@ type search struct {
 	visited  map[Track]int
 	expanded int
 	pruned   int
+	budget   *robust.Budget
+	err      error // first budget/cancellation error; stops the search
 }
 
 // span returns the maximal clear run of n's track around its entry
@@ -358,7 +385,12 @@ func (st *search) complete(n *Node, from Point) (Path, bool) {
 
 // expand creates the children of n: every perpendicular track crossing
 // n's clear span at a usable intersection, subject to the visit rule.
+// Children created are charged against the search budget; once the
+// budget trips, expansion stops producing work.
 func (st *search) expand(n *Node) []*Node {
+	if st.err != nil {
+		return nil
+	}
 	span, ok := st.span(n)
 	if !ok {
 		return nil
@@ -391,6 +423,9 @@ func (st *search) expand(n *Node) []*Node {
 		n.Children = append(n.Children, c)
 		kids = append(kids, c)
 		st.expanded++
+	}
+	if err := st.budget.Charge(len(kids)); err != nil {
+		st.err = err
 	}
 	return kids
 }
