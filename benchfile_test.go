@@ -48,5 +48,19 @@ func TestCommittedBenchFiles(t *testing.T) {
 				t.Errorf("%s: missing overhead workload %q", path, want)
 			}
 		}
+		// Legacy snapshots (pr2, pr3) predate schema versioning; any
+		// newer snapshot must be versioned and carry host metadata so
+		// benchdiff can tell same-host from cross-host comparisons.
+		switch bf.Schema {
+		case 0: // legacy, host optional
+		case obs.BenchSchemaVersion:
+			if bf.Host == nil || bf.Host.GOOS == "" || bf.Host.GOARCH == "" ||
+				bf.Host.NumCPU <= 0 || bf.Host.GOMAXPROCS <= 0 {
+				t.Errorf("%s: schema %d snapshot with incomplete host metadata %+v",
+					path, bf.Schema, bf.Host)
+			}
+		default:
+			t.Errorf("%s: unexpected schema %d", path, bf.Schema)
+		}
 	}
 }

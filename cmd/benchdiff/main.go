@@ -1,0 +1,149 @@
+// Command benchdiff compares two bench-JSON snapshots (cmd/benchjson
+// output) and gates on regressions:
+//
+//	benchdiff BENCH_pr2.json BENCH_pr3.json    explicit old vs new
+//	benchdiff fresh.json                       baseline = newest committed
+//	                                           BENCH_*.json (excluding the arg)
+//	benchdiff -max-regress 0.05 old.json new.json
+//	benchdiff -warn -o delta.md old.json new.json
+//
+// The delta table is written as markdown to stdout (or -o). Exit
+// status: 0 when no shared workload regressed, 1 on regression (unless
+// -warn demotes it to a note), 2 on usage or I/O errors.
+//
+// Snapshots measured on different hosts (per their embedded host
+// metadata) are compared for information only and never gate;
+// -ignore-host forces gating anyway.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"overcell/internal/obs"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0, "tolerated fractional ns/op slowdown (0 = default 0.10, negative disables)")
+	maxAlloc := flag.Float64("max-alloc-regress", 0, "tolerated fractional allocs/op growth (0 = default 0.10, negative disables)")
+	warn := flag.Bool("warn", false, "report regressions but exit 0")
+	ignoreHost := flag.Bool("ignore-host", false, "gate even when snapshots come from different hosts")
+	out := flag.String("o", "", "write the markdown table to this file instead of stdout")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 1:
+		newPath = flag.Arg(0)
+		var err error
+		if oldPath, err = newestCommitted(newPath); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s\n", oldPath)
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		die(fmt.Errorf("usage: benchdiff [flags] [OLD.json] NEW.json"))
+	}
+
+	oldF, err := readBench(oldPath)
+	if err != nil {
+		die(err)
+	}
+	newF, err := readBench(newPath)
+	if err != nil {
+		die(err)
+	}
+
+	d := obs.DiffBench(oldF, newF, obs.DiffOptions{
+		MaxRegress:      *maxRegress,
+		MaxAllocRegress: *maxAlloc,
+		IgnoreHost:      *ignoreHost,
+	})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteMarkdown(w); err != nil {
+		die(err)
+	}
+
+	if d.Regressed() {
+		if *warn {
+			fmt.Fprintln(os.Stderr, "benchdiff: regression detected (warn-only, exit 0)")
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		os.Exit(1)
+	}
+}
+
+// newestCommitted picks the baseline for single-argument mode: the
+// BENCH_*.json in the current directory with the latest generated_at
+// stamp (file mtime when absent), excluding the snapshot under test.
+func newestCommitted(exclude string) (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	type cand struct {
+		path string
+		key  string
+	}
+	var cands []cand
+	excl, _ := filepath.Abs(exclude)
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == excl {
+			continue
+		}
+		f, err := readBench(m)
+		if err != nil {
+			return "", fmt.Errorf("candidate baseline %s: %w", m, err)
+		}
+		key := f.GeneratedAt
+		if key == "" {
+			if st, err := os.Stat(m); err == nil {
+				key = st.ModTime().UTC().Format("2006-01-02T15:04:05Z")
+			}
+		}
+		cands = append(cands, cand{m, key})
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("no committed BENCH_*.json baseline found")
+	}
+	// RFC 3339 stamps sort lexically; ties break on path for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key > cands[j].key
+		}
+		return cands[i].path > cands[j].path
+	})
+	return cands[0].path, nil
+}
+
+func readBench(path string) (*obs.BenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	bf, err := obs.ReadBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

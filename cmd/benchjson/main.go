@@ -8,7 +8,11 @@
 //
 // Unlike `go test -bench`, the output is a stable, diffable document
 // (obs.BenchFile) meant to be committed alongside the change that
-// produced it, so regressions show up in review as JSON diffs. The
+// produced it, so regressions show up in review as JSON diffs — and
+// as gated deltas via cmd/benchdiff. Snapshots carry the measuring
+// host's metadata (GOOS/GOARCH, CPU and GOMAXPROCS counts) so that
+// cross-machine comparisons are detected rather than mistaken for
+// regressions. The
 // workloads mirror the root benchmarks: the Table 2 flow comparison on
 // all three instances, the channel-free variant, the maze-vs-TIG
 // search comparison, and traced-vs-untraced plus budgeted-vs-untraced
@@ -56,9 +60,16 @@ func main() {
 	}
 
 	file := obs.BenchFile{
+		Schema:      obs.BenchSchemaVersion,
 		Tag:         *tag,
 		GoVersion:   runtime.Version(),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: &obs.BenchHost{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
 	}
 	for _, b := range workloads() {
 		entry, err := measure(b, *runs)

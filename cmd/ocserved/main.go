@@ -1,0 +1,76 @@
+// Command ocserved runs the router as a long-lived HTTP service: it
+// accepts routing jobs, executes them under work budgets with
+// cancellation, and exposes the live ops surface — Prometheus
+// /metrics, per-run span traces, congestion heatmaps and pprof.
+//
+//	ocserved -addr :8344
+//	ocserved -addr 127.0.0.1:0 -max-runs 4   # ephemeral port, printed
+//
+//	# submit a job and wait for it:
+//	benchgen -name ami33 | curl -s --data-binary @- \
+//	    'http://localhost:8344/runs?flow=proposed&wait=1'
+//	curl -s localhost:8344/metrics | grep ocroute_nets_routed_total
+//	curl -s localhost:8344/runs
+//	curl -s localhost:8344/runs/run-1/heatmap.svg -o heat.svg
+//
+// The listen address is printed once the socket is bound ("listening
+// on http://HOST:PORT"), so scripts can use port 0 and scrape the
+// actual port from stdout. SIGINT/SIGTERM cancel all active runs and
+// shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"overcell/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
+	maxRuns := flag.Int("max-runs", 2, "maximum concurrently routing jobs")
+	keepRuns := flag.Int("keep-runs", 64, "finished runs retained for /runs")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := serve.New(serve.Config{MaxRuns: *maxRuns, KeepRuns: *keepRuns, BaseCtx: ctx})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("ocserved: %v, shutting down\n", sig)
+		cancel() // cancel active runs so shutdown is not held up
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer shutCancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ocserved: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ocserved:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffOptions tunes DiffBench's regression gate.
+type DiffOptions struct {
+	// MaxRegress is the tolerated fractional ns/op slowdown before a
+	// workload counts as regressed (0.10 = 10% slower). 0 means the
+	// default of 0.10; negative disables the timing gate.
+	MaxRegress float64
+	// MaxAllocRegress is the same gate for allocs/op. 0 means the
+	// default of 0.10; negative disables the allocation gate.
+	MaxAllocRegress float64
+	// IgnoreHost compares snapshots even when their host metadata
+	// differs (or is missing on one side). Off by default because
+	// cross-machine timing deltas are noise.
+	IgnoreHost bool
+}
+
+const defaultMaxRegress = 0.10
+
+func (o DiffOptions) maxRegress() float64 {
+	if o.MaxRegress == 0 {
+		return defaultMaxRegress
+	}
+	return o.MaxRegress
+}
+
+func (o DiffOptions) maxAllocRegress() float64 {
+	if o.MaxAllocRegress == 0 {
+		return defaultMaxRegress
+	}
+	return o.MaxAllocRegress
+}
+
+// BenchDelta is one workload's old-vs-new comparison. Ratio is
+// new/old ns per op (1.0 = unchanged; only meaningful when the
+// workload exists on both sides).
+type BenchDelta struct {
+	Name       string  `json:"name"`
+	OldNs      int64   `json:"old_ns_per_op"`
+	NewNs      int64   `json:"new_ns_per_op"`
+	OldAllocs  uint64  `json:"old_allocs_per_op"`
+	NewAllocs  uint64  `json:"new_allocs_per_op"`
+	Ratio      float64 `json:"ratio"`
+	AllocRatio float64 `json:"alloc_ratio"`
+	Regressed  bool    `json:"regressed"`
+	OnlyOld    bool    `json:"only_old,omitempty"` // workload removed
+	OnlyNew    bool    `json:"only_new,omitempty"` // workload added
+}
+
+// BenchDiff is the full comparison of two bench snapshots.
+type BenchDiff struct {
+	OldTag, NewTag string
+	HostMismatch   string // non-empty: why timings are not comparable
+	Deltas         []BenchDelta
+}
+
+// Regressed reports whether any shared workload tripped a gate.
+// Host-mismatched diffs never regress — their timings are noise.
+func (d *BenchDiff) Regressed() bool {
+	if d.HostMismatch != "" {
+		return false
+	}
+	for _, bd := range d.Deltas {
+		if bd.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffBench compares two snapshots workload by workload. Deltas are
+// sorted by name; workloads present on only one side are flagged but
+// never gate. When the snapshots carry host metadata for different
+// machines (and IgnoreHost is off), the diff is annotated with the
+// mismatch and no workload is marked regressed.
+func DiffBench(oldF, newF *BenchFile, opt DiffOptions) *BenchDiff {
+	d := &BenchDiff{OldTag: oldF.Tag, NewTag: newF.Tag}
+	if !opt.IgnoreHost {
+		switch {
+		case oldF.Host == nil && newF.Host == nil:
+			// Two legacy snapshots: assume same machine, as before.
+		case oldF.Host == nil || newF.Host == nil:
+			d.HostMismatch = "one snapshot has no host metadata (legacy schema)"
+		case !oldF.Host.Same(*newF.Host):
+			d.HostMismatch = fmt.Sprintf("hosts differ: %s vs %s", oldF.Host, newF.Host)
+		}
+	}
+	oldBy := make(map[string]BenchEntry, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newF.Benchmarks))
+	for _, nb := range newF.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			d.Deltas = append(d.Deltas, BenchDelta{
+				Name: nb.Name, NewNs: nb.NsPerOp, NewAllocs: nb.AllocsPerOp, OnlyNew: true,
+			})
+			continue
+		}
+		bd := BenchDelta{
+			Name:  nb.Name,
+			OldNs: ob.NsPerOp, NewNs: nb.NsPerOp,
+			OldAllocs: ob.AllocsPerOp, NewAllocs: nb.AllocsPerOp,
+		}
+		if ob.NsPerOp > 0 {
+			bd.Ratio = float64(nb.NsPerOp) / float64(ob.NsPerOp)
+		}
+		if ob.AllocsPerOp > 0 {
+			bd.AllocRatio = float64(nb.AllocsPerOp) / float64(ob.AllocsPerOp)
+		}
+		if d.HostMismatch == "" {
+			if mr := opt.maxRegress(); mr >= 0 && ob.NsPerOp > 0 && bd.Ratio > 1+mr {
+				bd.Regressed = true
+			}
+			if ar := opt.maxAllocRegress(); ar >= 0 && ob.AllocsPerOp > 0 && bd.AllocRatio > 1+ar {
+				bd.Regressed = true
+			}
+		}
+		d.Deltas = append(d.Deltas, bd)
+	}
+	for _, ob := range oldF.Benchmarks {
+		if !seen[ob.Name] {
+			d.Deltas = append(d.Deltas, BenchDelta{
+				Name: ob.Name, OldNs: ob.NsPerOp, OldAllocs: ob.AllocsPerOp, OnlyOld: true,
+			})
+		}
+	}
+	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Name < d.Deltas[j].Name })
+	return d
+}
+
+// WriteMarkdown renders the diff as a GitHub-flavoured markdown table
+// with one row per workload and a status column (ok / REGRESSED /
+// added / removed).
+func (d *BenchDiff) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## benchdiff %s → %s\n\n", d.OldTag, d.NewTag); err != nil {
+		return err
+	}
+	if d.HostMismatch != "" {
+		if _, err := fmt.Fprintf(w, "> **note:** %s — timings compared for information only, no gating\n\n",
+			d.HostMismatch); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "| workload | old ns/op | new ns/op | Δ time | old allocs | new allocs | status |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---|"); err != nil {
+		return err
+	}
+	for _, bd := range d.Deltas {
+		status, dt := "ok", "—"
+		switch {
+		case bd.OnlyNew:
+			status = "added"
+		case bd.OnlyOld:
+			status = "removed"
+		default:
+			if bd.Ratio > 0 {
+				dt = fmt.Sprintf("%+.1f%%", (bd.Ratio-1)*100)
+			}
+			if bd.Regressed {
+				status = "**REGRESSED**"
+			}
+		}
+		cell := func(v int64) string {
+			if v == 0 && (bd.OnlyNew || bd.OnlyOld) {
+				return "—"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			bd.Name,
+			cell(bd.OldNs), cell(bd.NewNs), dt,
+			cell(int64(bd.OldAllocs)), cell(int64(bd.NewAllocs)), status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchPair() (*BenchFile, *BenchFile) {
+	oldF := &BenchFile{
+		Tag: "old",
+		Benchmarks: []BenchEntry{
+			{Name: "a", Runs: 1, NsPerOp: 1000, AllocsPerOp: 100},
+			{Name: "b", Runs: 1, NsPerOp: 2000, AllocsPerOp: 50},
+			{Name: "gone", Runs: 1, NsPerOp: 10, AllocsPerOp: 1},
+		},
+	}
+	newF := &BenchFile{
+		Tag: "new",
+		Benchmarks: []BenchEntry{
+			{Name: "a", Runs: 1, NsPerOp: 1050, AllocsPerOp: 100}, // +5%: within gate
+			{Name: "b", Runs: 1, NsPerOp: 2000, AllocsPerOp: 50},
+			{Name: "fresh", Runs: 1, NsPerOp: 5, AllocsPerOp: 1},
+		},
+	}
+	return oldF, newF
+}
+
+func TestDiffBenchClean(t *testing.T) {
+	oldF, newF := benchPair()
+	d := DiffBench(oldF, newF, DiffOptions{})
+	if d.Regressed() {
+		t.Fatalf("clean diff regressed: %+v", d.Deltas)
+	}
+	if len(d.Deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4", len(d.Deltas))
+	}
+	byName := map[string]BenchDelta{}
+	for _, bd := range d.Deltas {
+		byName[bd.Name] = bd
+	}
+	if bd := byName["a"]; bd.Ratio != 1.05 || bd.Regressed {
+		t.Errorf("a = %+v", bd)
+	}
+	if !byName["fresh"].OnlyNew || !byName["gone"].OnlyOld {
+		t.Errorf("membership flags wrong: %+v", d.Deltas)
+	}
+}
+
+// TestDiffBenchSyntheticRegression injects a 30% slowdown and checks
+// it gates, that tightening/loosening thresholds moves the verdict,
+// and that the markdown row is flagged.
+func TestDiffBenchSyntheticRegression(t *testing.T) {
+	oldF, newF := benchPair()
+	newF.Benchmarks[0].NsPerOp = 1300 // a: +30%
+	d := DiffBench(oldF, newF, DiffOptions{})
+	if !d.Regressed() {
+		t.Fatal("30% slowdown not flagged at default 10% gate")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{MaxRegress: 0.5}); d.Regressed() {
+		t.Error("30% slowdown flagged at 50% gate")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{MaxRegress: -1}); d.Regressed() {
+		t.Error("timing gate disabled but still regressed")
+	}
+
+	var md strings.Builder
+	if err := d.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"| a | 1000 | 1300 | +30.0% |", "**REGRESSED**", "| fresh | — |", "added", "removed"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+}
+
+func TestDiffBenchAllocGate(t *testing.T) {
+	oldF, newF := benchPair()
+	newF.Benchmarks[1].AllocsPerOp = 80 // b: +60% allocs, same time
+	if d := DiffBench(oldF, newF, DiffOptions{}); !d.Regressed() {
+		t.Error("alloc regression not flagged")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{MaxAllocRegress: -1}); d.Regressed() {
+		t.Error("alloc gate disabled but still regressed")
+	}
+}
+
+func TestDiffBenchHostMismatch(t *testing.T) {
+	oldF, newF := benchPair()
+	newF.Benchmarks[0].NsPerOp = 9999 // wild slowdown
+	oldF.Schema, newF.Schema = 2, 2
+	oldF.Host = &BenchHost{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8}
+	newF.Host = &BenchHost{GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 4, NumCPU: 4}
+
+	d := DiffBench(oldF, newF, DiffOptions{})
+	if d.HostMismatch == "" || d.Regressed() {
+		t.Errorf("cross-host diff should warn, not gate: mismatch=%q regressed=%v",
+			d.HostMismatch, d.Regressed())
+	}
+	var md strings.Builder
+	if err := d.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "hosts differ") {
+		t.Errorf("markdown missing host note:\n%s", md.String())
+	}
+
+	if d := DiffBench(oldF, newF, DiffOptions{IgnoreHost: true}); !d.Regressed() {
+		t.Error("IgnoreHost diff should gate on the slowdown")
+	}
+
+	// Legacy old side vs host-tagged new side: annotated, not gated.
+	oldF.Host, oldF.Schema = nil, 0
+	if d := DiffBench(oldF, newF, DiffOptions{}); d.HostMismatch == "" || d.Regressed() {
+		t.Errorf("legacy/host mix = %q regressed=%v", d.HostMismatch, d.Regressed())
+	}
+}
+
+func TestBenchSchemaValidation(t *testing.T) {
+	good := `{"schema":2,"tag":"t","go_version":"go1.22",` +
+		`"host":{"goos":"linux","goarch":"amd64","gomaxprocs":8,"num_cpu":8},` +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1}]}`
+	if _, err := ReadBench(strings.NewReader(good)); err != nil {
+		t.Errorf("schema-2 file rejected: %v", err)
+	}
+	noHost := `{"schema":2,"tag":"t","go_version":"go1.22",` +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1}]}`
+	if _, err := ReadBench(strings.NewReader(noHost)); err == nil {
+		t.Error("schema-2 file without host accepted")
+	}
+	future := `{"schema":99,"tag":"t","go_version":"go1.22",` +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1}]}`
+	if _, err := ReadBench(strings.NewReader(future)); err == nil {
+		t.Error("future-schema file accepted")
+	}
+	legacy := `{"tag":"t","go_version":"go1.22",` +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1}]}`
+	if _, err := ReadBench(strings.NewReader(legacy)); err != nil {
+		t.Errorf("legacy file rejected: %v", err)
+	}
+}

@@ -19,13 +19,39 @@ type BenchEntry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// BenchSchemaVersion is the current bench-JSON schema. Files written
+// before versioning carry no "schema" field and validate as legacy;
+// files at version 2 or later must also carry host metadata so
+// cross-machine comparisons can be detected (see cmd/benchdiff).
+const BenchSchemaVersion = 2
+
+// BenchHost records the machine a snapshot was measured on. Timing
+// deltas between snapshots from different hosts are noise, not
+// regressions; benchdiff refuses to gate on them unless overridden.
+type BenchHost struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Same reports whether two host records describe comparable machines.
+func (h BenchHost) Same(o BenchHost) bool { return h == o }
+
+// String renders the host as "linux/amd64 cpu=8 maxprocs=8".
+func (h BenchHost) String() string {
+	return fmt.Sprintf("%s/%s cpu=%d maxprocs=%d", h.GOOS, h.GOARCH, h.NumCPU, h.GOMAXPROCS)
+}
+
 // BenchFile is the machine-readable perf-trajectory snapshot committed
 // as BENCH_<tag>.json: one entry per workload, tagged with the PR it
 // baselines. Future PRs append new files and compare against old ones.
 type BenchFile struct {
+	Schema      int          `json:"schema,omitempty"` // 0 = legacy (pre-versioning)
 	Tag         string       `json:"tag"`
 	GoVersion   string       `json:"go_version"`
 	GeneratedAt string       `json:"generated_at,omitempty"`
+	Host        *BenchHost   `json:"host,omitempty"` // required from schema 2 on
 	Benchmarks  []BenchEntry `json:"benchmarks"`
 }
 
@@ -47,6 +73,13 @@ func ReadBench(r io.Reader) (*BenchFile, error) {
 	}
 	if f.Tag == "" {
 		return nil, fmt.Errorf("obs: bench json missing tag")
+	}
+	if f.Schema > BenchSchemaVersion {
+		return nil, fmt.Errorf("obs: bench json %q has schema %d, newer than supported %d",
+			f.Tag, f.Schema, BenchSchemaVersion)
+	}
+	if f.Schema >= 2 && f.Host == nil {
+		return nil, fmt.Errorf("obs: bench json %q (schema %d) missing host metadata", f.Tag, f.Schema)
 	}
 	if len(f.Benchmarks) == 0 {
 		return nil, fmt.Errorf("obs: bench json %q has no benchmarks", f.Tag)

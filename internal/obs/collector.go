@@ -18,12 +18,18 @@ type Histogram struct {
 	Max     int64
 }
 
-// Observe records one value. Negative values clamp to zero.
+// Observe records one value. Negative values clamp to zero; values at
+// or beyond 2^30 land in the last bucket (its upper edge is open), so
+// any int64 — including math.MaxInt64 — is a valid observation.
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.Buckets[bits.Len64(uint64(v))]++
+	i := bits.Len64(uint64(v))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
 	h.N++
 	h.Sum += v
 	if v > h.Max {
@@ -39,7 +45,9 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
-// String renders "n=N mean=M max=X" plus the non-empty buckets.
+// String renders "n=N mean=M max=X" plus the non-empty buckets. The
+// last bucket is open-ended (it absorbs every observation at or above
+// its lower edge) and renders as [lo-inf].
 func (h *Histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%.1f max=%d", h.N, h.Mean(), h.Max)
@@ -50,6 +58,10 @@ func (h *Histogram) String() string {
 		lo, hi := int64(0), int64(0)
 		if i > 0 {
 			lo, hi = int64(1)<<(i-1), int64(1)<<i-1
+		}
+		if i == len(h.Buckets)-1 {
+			fmt.Fprintf(&b, " [%d-inf]:%d", lo, c)
+			continue
 		}
 		fmt.Fprintf(&b, " [%d-%d]:%d", lo, hi, c)
 	}

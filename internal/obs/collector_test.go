@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramEdges pins the bucket assignment on the boundary
+// values: zero, exact powers of two, and the extreme int64 range.
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	if h.Buckets[0] != 1 {
+		t.Errorf("Observe(0) bucket0 = %d, want 1", h.Buckets[0])
+	}
+	// Exact powers of two open the next bucket: 2^k lands in bucket
+	// k+1, whose range is [2^k, 2^(k+1)-1].
+	for _, k := range []uint{0, 1, 4, 10, 20} {
+		var p Histogram
+		p.Observe(int64(1) << k)
+		want := int(k) + 1
+		for i, c := range p.Buckets {
+			if c != 0 && i != want {
+				t.Errorf("Observe(2^%d) filled bucket %d, want %d", k, i, want)
+			}
+		}
+		// One below the power stays in bucket k (for k >= 1).
+		if k >= 1 {
+			var q Histogram
+			q.Observe(int64(1)<<k - 1)
+			if q.Buckets[k] != 1 {
+				t.Errorf("Observe(2^%d-1) bucket%d = %d, want 1", k, k, q.Buckets[k])
+			}
+		}
+	}
+	// Values past the bucket range clamp into the open-ended last
+	// bucket instead of indexing out of bounds.
+	var m Histogram
+	m.Observe(math.MaxInt64)
+	m.Observe(int64(1) << 40)
+	last := len(m.Buckets) - 1
+	if m.Buckets[last] != 2 {
+		t.Errorf("extreme observations: bucket%d = %d, want 2", last, m.Buckets[last])
+	}
+	if m.Max != math.MaxInt64 || m.N != 2 {
+		t.Errorf("n=%d max=%d", m.N, m.Max)
+	}
+	if !strings.Contains(m.String(), "-inf]:2") {
+		t.Errorf("last bucket not rendered open-ended: %s", m.String())
+	}
+}
+
+// TestSummaryGolden pins the exact Summary formatting of a small,
+// fully deterministic event stream.
+func TestSummaryGolden(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Type: EvPhaseStart, Phase: "level-b"})
+	c.Emit(Event{Type: EvNetStart, Net: "a", Rank: 1, Terminals: 2})
+	c.Emit(Event{Type: EvMBFS, Levels: 1, Expanded: 4, Pruned: 1, Paths: 2})
+	c.Emit(Event{Type: EvSelect, Paths: 2, Pruned: 1, Corners: 1})
+	c.Emit(Event{Type: EvNetDone, Net: "a", Wire: 64, Vias: 2, Corners: 1})
+	c.Emit(Event{Type: EvRipupPass, Step: 0})
+	c.Emit(Event{Type: EvPhaseEnd, Phase: "level-b", DurNS: 2_000_000})
+
+	want := `events: 7 total
+  mbfs         1
+  net_done     1
+  net_start    1
+  phase_end    1
+  phase_start  1
+  ripup_pass   1
+  select       1
+nets: 1 routed, 0 failed attempts; wire=64 vias=2 corners=1
+search: 4 nodes expanded, 1 visit-rule prunes, 1 selection prunes, 0 searches exhausted
+  mbfs levels:   n=1 mean=1.0 max=1 [1-1]:1
+  mbfs expanded: n=1 mean=4.0 max=4 [4-7]:1
+  mbfs paths:    n=1 mean=2.0 max=2 [2-3]:1
+escalations: none (relaxed retries: 0)
+rip-up: 1 passes, 0 attempts, 0 recovered
+budget: 0 trips (0 sticky)
+phase level-b  2.000ms
+`
+	if got := c.Summary(); got != want {
+		t.Errorf("summary golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

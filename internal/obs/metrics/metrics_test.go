@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"overcell/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters never decrease
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("x_total", "help"); again != c {
+		t.Error("get-or-create returned a different handle")
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(1)
+	g.Dec()
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", g.Value())
+	}
+	// Same name, different labels: distinct series.
+	a := r.Counter("lbl_total", "h", L("k", "a"))
+	b := r.Counter("lbl_total", "h", L("k", "b"))
+	if a == b {
+		t.Error("label-distinct series share a handle")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family").Add(7)
+	r.Counter("a_total", "first family", L("ev", "net_done")).Add(2)
+	r.Counter("a_total", "first family", L("ev", "mbfs")).Add(3)
+	r.Gauge("active", "gauge family").Set(2)
+	h := r.Histogram("effort", "histogram family")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP a_total first family
+# TYPE a_total counter
+a_total{ev="mbfs"} 3
+a_total{ev="net_done"} 2
+# HELP active gauge family
+# TYPE active gauge
+active 2
+# HELP b_total second family
+# TYPE b_total counter
+b_total 7
+# HELP effort histogram family
+# TYPE effort histogram
+effort_bucket{le="0"} 1
+effort_bucket{le="1"} 2
+effort_bucket{le="3"} 2
+effort_bucket{le="7"} 3
+effort_bucket{le="+Inf"} 3
+effort_sum 6
+effort_count 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Deterministic across calls.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("exposition not deterministic")
+	}
+}
+
+// TestHistogramOverflowBucket checks that extreme observations render
+// under +Inf only, keeping cumulative counts monotone.
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wide", "h")
+	h.Observe(1)
+	h.Observe(math.MaxInt64)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `wide_bucket{le="1"} 1`) ||
+		!strings.Contains(out, `wide_bucket{le="+Inf"} 2`) {
+		t.Errorf("overflow exposition:\n%s", out)
+	}
+	if strings.Contains(out, "2147483647") {
+		t.Errorf("open-ended bucket leaked a finite le:\n%s", out)
+	}
+}
+
+func TestTracerMapsEvents(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	if !tr.Enabled() {
+		t.Fatal("metrics tracer disabled")
+	}
+	tr.Emit(obs.Event{Type: obs.EvMBFS, Levels: 2, Expanded: 10, Pruned: 4, Paths: 3})
+	tr.Emit(obs.Event{Type: obs.EvMaze, Expanded: 7})
+	tr.Emit(obs.Event{Type: obs.EvSelect, Paths: 3, Pruned: 2})
+	tr.Emit(obs.Event{Type: obs.EvNetDone, Net: "a", Wire: 100, Vias: 4, Corners: 2})
+	tr.Emit(obs.Event{Type: obs.EvNetDone, Net: "b", Failed: true})
+	tr.Emit(obs.Event{Type: obs.EvEscalate, Step: 2})
+	tr.Emit(obs.Event{Type: obs.EvEscalate, Step: 5, Relaxed: true})
+	tr.Emit(obs.Event{Type: obs.EvRipup, Net: "b", Victims: 3})
+	tr.Emit(obs.Event{Type: obs.EvRipupPass, Step: 0})
+	tr.Emit(obs.Event{Type: obs.EvBudget, Net: "b", Expanded: 50})
+	tr.Emit(obs.Event{Type: obs.EvBudget, Failed: true})
+	tr.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "level-b", DurNS: 1500})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ocroute_events_total{ev="mbfs"} 1`,
+		`ocroute_events_total{ev="net_done"} 2`,
+		`ocroute_nets_routed_total 1`,
+		`ocroute_nets_failed_total 1`,
+		`ocroute_wire_units_total 100`,
+		`ocroute_search_expanded_total 17`,
+		`ocroute_search_pruned_total 4`,
+		`ocroute_select_pruned_total 2`,
+		`ocroute_escalations_total{step="2"} 1`,
+		`ocroute_escalations_total{step="5"} 1`,
+		`ocroute_relaxed_retries_total 1`,
+		`ocroute_ripup_attempts_total 1`,
+		`ocroute_ripup_wins_total 1`,
+		`ocroute_budget_trips_total{sticky="false"} 1`,
+		`ocroute_budget_trips_total{sticky="true"} 1`,
+		`ocroute_phase_ns_total{phase="level-b"} 1500`,
+		`ocroute_mbfs_expanded_count 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The zero surface is pre-registered: a fresh tracer's registry
+	// already exposes the headline counters.
+	r2 := NewRegistry()
+	NewTracer(r2)
+	var b2 strings.Builder
+	if err := r2.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`ocroute_nets_routed_total 0`,
+		`ocroute_events_total{ev="net_start"} 0`,
+		`ocroute_phase_ns_total{phase="level-b"} 0`,
+	} {
+		if !strings.Contains(b2.String(), want+"\n") {
+			t.Errorf("pre-registered surface missing %q", want)
+		}
+	}
+}
+
+// TestRegistryConcurrentEmitters exercises the registry and the
+// tracer adapter from concurrent goroutines under the race detector:
+// totals must come out exact and scrapes must be safe mid-emission.
+func TestRegistryConcurrentEmitters(t *testing.T) {
+	const goroutines, events = 8, 400
+	r := NewRegistry()
+	tr := NewTracer(r)
+	var emitters, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	// A scraper hammering WriteText while emitters run.
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		emitters.Add(1)
+		go func() {
+			defer emitters.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit(obs.Event{Type: obs.EvMBFS, Expanded: 2, Levels: i % 5})
+				tr.Emit(obs.Event{Type: obs.EvNetDone, Wire: 7, Vias: 1})
+				tr.Emit(obs.Event{Type: obs.EvEscalate, Step: 1 + i%3})
+			}
+		}()
+	}
+	emitters.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := r.Counter("ocroute_nets_routed_total", "").Value(); got != goroutines*events {
+		t.Errorf("nets routed = %d, want %d", got, goroutines*events)
+	}
+	if got := r.Counter("ocroute_search_expanded_total", "").Value(); got != 2*goroutines*events {
+		t.Errorf("expanded = %d, want %d", got, 2*goroutines*events)
+	}
+	var esc int64
+	for _, step := range []string{"1", "2", "3"} {
+		esc += r.Counter("ocroute_escalations_total", "", L("step", step)).Value()
+	}
+	if esc != goroutines*events {
+		t.Errorf("escalations = %d, want %d", esc, goroutines*events)
+	}
+}

@@ -100,7 +100,10 @@ type Event struct {
 
 // Tracer receives routing events. Implementations must tolerate events
 // from a single goroutine in emission order; the router is serial and
-// does not synchronise emits.
+// does not synchronise emits. Tracers that are shared across
+// concurrently routing goroutines (one server handling many runs)
+// must either be goroutine-safe themselves or be wrapped in Synced,
+// which serialises Emit calls behind a mutex.
 type Tracer interface {
 	// Enabled reports whether Emit does anything. Hot paths check it
 	// before assembling an event.
@@ -127,25 +130,21 @@ func OrNop(t Tracer) Tracer {
 	return t
 }
 
-// Multi fans every event out to all member tracers.
+// Multi fans every event out to all member tracers. Build it via
+// Combine, which vets member liveness once: every member of a
+// Combine-built Multi is enabled, so Emit dispatches without
+// re-checking Enabled() per event. A hand-built Multi must likewise
+// contain only enabled tracers.
 type Multi []Tracer
 
-// Enabled implements Tracer: true when any member is enabled.
-func (m Multi) Enabled() bool {
-	for _, t := range m {
-		if t.Enabled() {
-			return true
-		}
-	}
-	return false
-}
+// Enabled implements Tracer. Liveness was cached at build time
+// (Combine drops disabled members), so a non-empty Multi is enabled.
+func (m Multi) Enabled() bool { return len(m) > 0 }
 
 // Emit implements Tracer.
 func (m Multi) Emit(e Event) {
 	for _, t := range m {
-		if t.Enabled() {
-			t.Emit(e)
-		}
+		t.Emit(e)
 	}
 }
 

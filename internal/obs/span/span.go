@@ -1,0 +1,285 @@
+// Package span derives hierarchical spans — run → phase → net — from
+// the flat obs event stream, giving a served routing job the same
+// trace model a distributed tracer would: every span has an ID, a
+// parent link, wall-clock bounds and numeric attributes, and the
+// whole tree is reconstructable from the events the routing stack
+// already emits (no changes to any emission site).
+//
+// A Builder is an obs.Tracer: attach it alongside the other tracers
+// via obs.Combine. It timestamps spans on event receipt with an
+// injectable clock, so tests pin exact durations. Snapshot is safe to
+// call from other goroutines while the run is still emitting — the
+// ops endpoint reads live span state mid-run.
+package span
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"overcell/internal/obs"
+)
+
+// Kind classifies a span's level in the run → phase → net hierarchy.
+type Kind string
+
+// The three span kinds.
+const (
+	KindRun   Kind = "run"
+	KindPhase Kind = "phase"
+	KindNet   Kind = "net"
+)
+
+// Span is one node of the trace tree. End is zero while the span is
+// open. Attrs carries per-span numeric attributes (search effort,
+// geometry totals, event tallies) keyed by stable snake_case names.
+type Span struct {
+	ID     string           `json:"id"`
+	Parent string           `json:"parent,omitempty"`
+	Kind   Kind             `json:"kind"`
+	Name   string           `json:"name"`
+	Start  time.Time        `json:"start"`
+	End    time.Time        `json:"end"` // zero while open
+	Failed bool             `json:"failed,omitempty"`
+	Attrs  map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Duration returns End-Start, or 0 while the span is open.
+func (s Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Builder consumes obs events and grows the span tree of one run. It
+// must receive events from a single goroutine (the routing run), like
+// every tracer; Snapshot and Summary may be called concurrently.
+type Builder struct {
+	clock func() time.Time
+
+	mu    sync.Mutex
+	runID string
+	seq   int
+	spans []Span
+	phase int // index of the open phase span, -1 when none
+	net   int // index of the open net span, -1 when none
+}
+
+// NewBuilder opens the run span. runID becomes the root span's ID and
+// the prefix of every child ID. clock supplies span timestamps (nil
+// means time.Now); inject a deterministic clock to pin durations in
+// tests.
+func NewBuilder(runID string, clock func() time.Time) *Builder {
+	if clock == nil {
+		clock = time.Now
+	}
+	b := &Builder{clock: clock, runID: runID, phase: -1, net: -1}
+	b.spans = append(b.spans, Span{
+		ID: runID, Kind: KindRun, Name: runID, Start: b.clock(),
+	})
+	return b
+}
+
+// Enabled implements obs.Tracer.
+func (b *Builder) Enabled() bool { return true }
+
+// Emit implements obs.Tracer.
+func (b *Builder) Emit(e obs.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	switch e.Type {
+	case obs.EvPhaseStart:
+		b.closeNet(now)
+		b.closePhase(now)
+		b.phase = b.open(KindPhase, e.Phase, 0, now)
+	case obs.EvPhaseEnd:
+		b.closeNet(now)
+		b.closePhase(now)
+	case obs.EvNetStart:
+		b.closeNet(now)
+		parent := 0
+		if b.phase >= 0 {
+			parent = b.phase
+		}
+		b.net = b.open(KindNet, e.Net, parent, now)
+		s := &b.spans[b.net]
+		s.attr("rank", int64(e.Rank))
+		s.attr("terminals", int64(e.Terminals))
+	case obs.EvNetDone:
+		if b.net >= 0 {
+			s := &b.spans[b.net]
+			s.attr("wire", int64(e.Wire))
+			s.attr("vias", int64(e.Vias))
+			s.attr("corners", int64(e.Corners))
+			s.attr("expanded", int64(e.Expanded))
+			s.attr("escalations", int64(e.Escalated))
+			s.Failed = e.Failed
+		}
+		b.closeNet(now)
+	case obs.EvMBFS:
+		b.bump("mbfs", 1)
+	case obs.EvMaze:
+		b.bump("maze", 1)
+	case obs.EvSelect:
+		b.bump("selects", 1)
+	case obs.EvEscalate:
+		b.bump("escalate_events", 1)
+	case obs.EvRipup:
+		b.bump("ripups", 1)
+	case obs.EvBudget:
+		// Budget trips annotate the run root: they are run-scoped
+		// conditions even when attributed to a net.
+		b.spans[0].attr("budget_trips", 1)
+		if e.Failed {
+			b.spans[0].attr("budget_sticky", 1)
+		}
+	}
+}
+
+// bump adds delta to an attribute of the innermost open span (net,
+// else phase, else run).
+func (b *Builder) bump(key string, delta int64) {
+	i := 0
+	if b.net >= 0 {
+		i = b.net
+	} else if b.phase >= 0 {
+		i = b.phase
+	}
+	b.spans[i].attr(key, delta)
+}
+
+func (s *Span) attr(key string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]int64)
+	}
+	s.Attrs[key] += delta
+}
+
+// open appends a new child span of spans[parent] and returns its
+// index.
+func (b *Builder) open(k Kind, name string, parent int, now time.Time) int {
+	b.seq++
+	b.spans = append(b.spans, Span{
+		ID:     fmt.Sprintf("%s.%d", b.runID, b.seq),
+		Parent: b.spans[parent].ID,
+		Kind:   k, Name: name, Start: now,
+	})
+	return len(b.spans) - 1
+}
+
+func (b *Builder) closeNet(now time.Time) {
+	if b.net >= 0 {
+		b.spans[b.net].End = now
+		b.net = -1
+	}
+}
+
+func (b *Builder) closePhase(now time.Time) {
+	if b.phase >= 0 {
+		b.spans[b.phase].End = now
+		b.phase = -1
+	}
+}
+
+// Finish closes any open net, phase, and the run span. Safe to call
+// once emission has stopped; further events reopen nothing sensible,
+// so Finish should be last.
+func (b *Builder) Finish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	b.closeNet(now)
+	b.closePhase(now)
+	if b.spans[0].End.IsZero() {
+		b.spans[0].End = now
+	}
+}
+
+// Snapshot returns a copy of the span tree, open spans included, in
+// creation order (the run span first). Attribute maps are copied, so
+// the result is stable even while the run keeps emitting.
+func (b *Builder) Snapshot() []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, len(b.spans))
+	copy(out, b.spans)
+	for i := range out {
+		if out[i].Attrs != nil {
+			m := make(map[string]int64, len(out[i].Attrs))
+			for k, v := range out[i].Attrs {
+				m[k] = v
+			}
+			out[i].Attrs = m
+		}
+	}
+	return out
+}
+
+// NetSummary is one net's entry in a Summary's slowest list.
+type NetSummary struct {
+	Name     string `json:"name"`
+	DurNS    int64  `json:"dur_ns"`
+	Expanded int64  `json:"expanded"`
+	Failed   bool   `json:"failed,omitempty"`
+}
+
+// Summary condenses a span tree for the ops endpoint's run listing.
+type Summary struct {
+	Total       int              `json:"total"`
+	Open        int              `json:"open"`
+	Nets        int              `json:"nets"`
+	FailedNets  int              `json:"failed_nets"`
+	RunNS       int64            `json:"run_ns"`
+	PhaseNS     map[string]int64 `json:"phase_ns,omitempty"`
+	SlowestNets []NetSummary     `json:"slowest_nets,omitempty"`
+}
+
+// Summarise reduces a Snapshot to its Summary: span counts, per-phase
+// wall time, and the top-k slowest net spans (k = 5; ties broken by
+// name for determinism).
+func Summarise(spans []Span) Summary {
+	const topK = 5
+	sum := Summary{PhaseNS: map[string]int64{}}
+	var nets []NetSummary
+	for _, s := range spans {
+		sum.Total++
+		if s.End.IsZero() {
+			sum.Open++
+		}
+		switch s.Kind {
+		case KindRun:
+			sum.RunNS = s.Duration().Nanoseconds()
+		case KindPhase:
+			sum.PhaseNS[s.Name] += s.Duration().Nanoseconds()
+		case KindNet:
+			sum.Nets++
+			if s.Failed {
+				sum.FailedNets++
+			}
+			nets = append(nets, NetSummary{
+				Name: s.Name, DurNS: s.Duration().Nanoseconds(),
+				Expanded: s.Attrs["expanded"], Failed: s.Failed,
+			})
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool {
+		if nets[i].DurNS != nets[j].DurNS {
+			return nets[i].DurNS > nets[j].DurNS
+		}
+		return nets[i].Name < nets[j].Name
+	})
+	if len(nets) > topK {
+		nets = nets[:topK]
+	}
+	sum.SlowestNets = nets
+	if len(sum.PhaseNS) == 0 {
+		sum.PhaseNS = nil
+	}
+	return sum
+}

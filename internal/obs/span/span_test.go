@@ -1,0 +1,164 @@
+package span
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"overcell/internal/obs"
+)
+
+// tick returns a deterministic clock advancing 1ms per call.
+func tick() func() time.Time {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func replay(b *Builder, events []obs.Event) {
+	for _, e := range events {
+		b.Emit(e)
+	}
+}
+
+func TestBuilderTree(t *testing.T) {
+	b := NewBuilder("r1", tick())
+	replay(b, []obs.Event{
+		{Type: obs.EvPhaseStart, Phase: "level-a"},
+		{Type: obs.EvPhaseEnd, Phase: "level-a", DurNS: 1},
+		{Type: obs.EvPhaseStart, Phase: "level-b"},
+		{Type: obs.EvNetStart, Net: "n1", Rank: 1, Terminals: 2},
+		{Type: obs.EvMBFS, Expanded: 5},
+		{Type: obs.EvSelect, Paths: 2},
+		{Type: obs.EvNetDone, Net: "n1", Wire: 80, Vias: 2, Expanded: 5},
+		{Type: obs.EvNetStart, Net: "n2", Rank: 2, Terminals: 3},
+		{Type: obs.EvNetDone, Net: "n2", Failed: true},
+		{Type: obs.EvPhaseEnd, Phase: "level-b", DurNS: 1},
+	})
+	b.Finish()
+	spans := b.Snapshot()
+	// run + 2 phases + 2 nets.
+	if len(spans) != 5 {
+		t.Fatalf("spans = %d, want 5", len(spans))
+	}
+	run := spans[0]
+	if run.Kind != KindRun || run.ID != "r1" || run.Parent != "" {
+		t.Errorf("run span = %+v", run)
+	}
+	if run.End.IsZero() {
+		t.Error("run span not closed by Finish")
+	}
+	byName := map[string]Span{}
+	for _, s := range spans[1:] {
+		byName[s.Name] = s
+		if s.End.IsZero() {
+			t.Errorf("span %s left open", s.Name)
+		}
+	}
+	lb := byName["level-b"]
+	if lb.Kind != KindPhase || lb.Parent != "r1" {
+		t.Errorf("level-b span = %+v", lb)
+	}
+	n1 := byName["n1"]
+	if n1.Kind != KindNet || n1.Parent != lb.ID {
+		t.Errorf("n1 parent = %q, want %q", n1.Parent, lb.ID)
+	}
+	if n1.Attrs["wire"] != 80 || n1.Attrs["mbfs"] != 1 || n1.Attrs["selects"] != 1 ||
+		n1.Attrs["expanded"] != 5 || n1.Attrs["rank"] != 1 {
+		t.Errorf("n1 attrs = %v", n1.Attrs)
+	}
+	if n1.Failed {
+		t.Error("n1 marked failed")
+	}
+	if n2 := byName["n2"]; !n2.Failed {
+		t.Error("n2 not marked failed")
+	}
+	// Deterministic clock: each span's duration is a whole number of
+	// milliseconds > 0.
+	if d := n1.Duration(); d != 3*time.Millisecond {
+		t.Errorf("n1 duration = %v, want 3ms", d)
+	}
+
+	sum := Summarise(spans)
+	if sum.Total != 5 || sum.Open != 0 || sum.Nets != 2 || sum.FailedNets != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.PhaseNS["level-b"] <= 0 || sum.RunNS <= 0 {
+		t.Errorf("summary times = %+v", sum)
+	}
+	if len(sum.SlowestNets) != 2 || sum.SlowestNets[0].Name != "n1" {
+		t.Errorf("slowest = %+v", sum.SlowestNets)
+	}
+}
+
+func TestBudgetAnnotatesRun(t *testing.T) {
+	b := NewBuilder("r2", tick())
+	replay(b, []obs.Event{
+		{Type: obs.EvPhaseStart, Phase: "level-b"},
+		{Type: obs.EvNetStart, Net: "n1", Rank: 1},
+		{Type: obs.EvBudget, Net: "n1", Expanded: 100},
+		{Type: obs.EvNetDone, Net: "n1", Failed: true},
+		{Type: obs.EvBudget, Failed: true},
+	})
+	b.Finish()
+	run := b.Snapshot()[0]
+	if run.Attrs["budget_trips"] != 2 || run.Attrs["budget_sticky"] != 1 {
+		t.Errorf("run attrs = %v", run.Attrs)
+	}
+}
+
+// TestSnapshotMidRun reads the tree while spans are open, as the ops
+// endpoint does for an in-flight run.
+func TestSnapshotMidRun(t *testing.T) {
+	b := NewBuilder("r3", tick())
+	replay(b, []obs.Event{
+		{Type: obs.EvPhaseStart, Phase: "level-b"},
+		{Type: obs.EvNetStart, Net: "n1", Rank: 1},
+	})
+	spans := b.Snapshot()
+	sum := Summarise(spans)
+	if sum.Open != 3 { // run, phase, net all open
+		t.Errorf("open spans = %d, want 3", sum.Open)
+	}
+	// Mutating the snapshot must not leak back into the builder.
+	spans[2].Attrs = map[string]int64{"x": 1}
+	b.Emit(obs.Event{Type: obs.EvNetDone, Net: "n1", Wire: 9})
+	b.Finish()
+	if got := b.Snapshot()[2].Attrs["x"]; got != 0 {
+		t.Error("snapshot aliases builder state")
+	}
+}
+
+// TestSnapshotConcurrent hammers Snapshot from another goroutine
+// while events stream, for the race detector.
+func TestSnapshotConcurrent(t *testing.T) {
+	b := NewBuilder("r4", nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Summarise(b.Snapshot())
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		b.Emit(obs.Event{Type: obs.EvNetStart, Net: "n", Rank: i + 1})
+		b.Emit(obs.Event{Type: obs.EvMBFS, Expanded: 3})
+		b.Emit(obs.Event{Type: obs.EvNetDone, Net: "n", Wire: 1})
+	}
+	b.Finish()
+	close(stop)
+	wg.Wait()
+	if sum := Summarise(b.Snapshot()); sum.Nets != 200 {
+		t.Errorf("nets = %d, want 200", sum.Nets)
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSyncedCollapsesWhenOff(t *testing.T) {
+	if Synced(nil).Enabled() {
+		t.Error("Synced(nil) enabled")
+	}
+	if _, ok := Synced(Nop{}).(Nop); !ok {
+		t.Errorf("Synced(Nop) = %T, want Nop", Synced(Nop{}))
+	}
+	c := NewCollector()
+	s := Synced(c)
+	if !s.Enabled() {
+		t.Error("Synced(collector) disabled")
+	}
+	s.Emit(Event{Type: EvMBFS, Expanded: 2})
+	if c.Count(EvMBFS) != 1 {
+		t.Errorf("emit through Synced lost: %d", c.Count(EvMBFS))
+	}
+}
+
+// TestSyncedConcurrentEmit exercises the relaxed contract under the
+// race detector: many goroutines emit through one Synced collector and
+// the aggregate totals must come out exact.
+func TestSyncedConcurrentEmit(t *testing.T) {
+	const goroutines, events = 8, 500
+	c := NewCollector()
+	s := Synced(c)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				s.Emit(Event{Type: EvMBFS, Expanded: 3, Levels: i % 7})
+				s.Emit(Event{Type: EvNetDone, Net: "n", Wire: 10, Vias: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Count(EvMBFS); got != goroutines*events {
+		t.Errorf("mbfs events = %d, want %d", got, goroutines*events)
+	}
+	if c.Expanded != int64(3*goroutines*events) {
+		t.Errorf("expanded = %d, want %d", c.Expanded, 3*goroutines*events)
+	}
+	if c.NetsRouted != goroutines*events || c.Wire != int64(10*goroutines*events) {
+		t.Errorf("nets=%d wire=%d", c.NetsRouted, c.Wire)
+	}
+}

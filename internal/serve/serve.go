@@ -1,0 +1,565 @@
+// Package serve is the router's live ops surface: an HTTP service
+// that accepts routing jobs and exposes the observability stack while
+// they run.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe ("ok")
+//	GET  /metrics              Prometheus text-format registry scrape
+//	POST /runs                 submit a routing job (instance JSON)
+//	GET  /runs                 JSON list of runs, newest first
+//	GET  /runs/{id}            one run: state, result, span summary
+//	GET  /runs/{id}/heatmap.svg  congestion heatmap of a finished run
+//	DELETE /runs/{id}          cancel an active run
+//	GET  /debug/pprof/*        standard pprof handlers
+//
+// A job body is either a bare gen instance JSON document or a wrapper
+// object {"flow": ..., "instance": {...}, ...}; the flow, budget and
+// wait knobs can also arrive as query parameters (?flow=proposed&
+// wait=1&deadline_ms=500&net_budget=N&total_budget=N&partial=1&
+// heat_win=8), which override the body. Each run executes the chosen
+// flow under a robust.Budget bound to a context: asynchronous runs
+// are scoped to the server's lifetime, while ?wait=1 runs are scoped
+// to the HTTP request itself — client disconnect cancels the routing
+// run (request-scoped cancellation).
+//
+// Every run feeds three tracers at once via obs.Combine: the shared
+// goroutine-safe metrics registry adapter (live /metrics counters),
+// a per-run span.Builder (the run → phase → net trace), and a per-run
+// obs.Collector (the aggregate summary shown in the run detail).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"overcell/internal/flow"
+	"overcell/internal/gen"
+	"overcell/internal/obs"
+	"overcell/internal/obs/metrics"
+	"overcell/internal/obs/span"
+	"overcell/internal/render"
+	"overcell/internal/robust"
+)
+
+// Run states.
+const (
+	StatePending  = "pending"
+	StateRunning  = "running"
+	StateDone     = "done"     // clean completion
+	StatePartial  = "partial"  // sticky budget trip with a verified partial result
+	StateFailed   = "failed"   // error, no usable result
+	StateCanceled = "canceled" // canceled before or while routing
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxRuns caps concurrently routing jobs; further submissions queue
+	// as pending. 0 means 2.
+	MaxRuns int
+	// KeepRuns caps retained finished runs; the oldest are evicted
+	// first. 0 means 64.
+	KeepRuns int
+	// BaseCtx scopes asynchronous runs; nil means context.Background().
+	// Cancelling it cancels every active run.
+	BaseCtx context.Context
+}
+
+type flowFn func(*gen.Instance, flow.Options) (*flow.Result, error)
+
+// Server owns the run store, the metrics registry and the HTTP mux.
+// Create with New, expose with Handler.
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	mtr   *metrics.Tracer
+	mux   *http.ServeMux
+	sem   chan struct{}
+	flows map[string]flowFn
+
+	active   *metrics.Gauge
+	finished map[string]*metrics.Counter // by final state
+	httpReqs *metrics.Counter
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // submission order, oldest first
+	nextID int
+}
+
+// run is the server-side record of one job.
+type run struct {
+	id, flowName, instance string
+	state                  string
+	submitted              time.Time
+	started, finished      time.Time
+	err                    string
+	heatWin                int
+
+	cancel    context.CancelFunc
+	done      chan struct{}
+	builder   *span.Builder
+	collector *obs.Collector
+
+	res  *flow.Result
+	heat *obs.Heatmap
+}
+
+// New builds a Server with its own metrics registry.
+func New(cfg Config) *Server {
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 2
+	}
+	if cfg.KeepRuns <= 0 {
+		cfg.KeepRuns = 64
+	}
+	if cfg.BaseCtx == nil {
+		cfg.BaseCtx = context.Background()
+	}
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:  cfg,
+		reg:  reg,
+		mtr:  metrics.NewTracer(reg),
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, cfg.MaxRuns),
+		runs: make(map[string]*run),
+		flows: map[string]flowFn{
+			"baseline":    flow.TwoLayerBaseline,
+			"proposed":    flow.Proposed,
+			"channel4":    flow.FourLayerChannel,
+			"channelfree": flow.ChannelFree,
+		},
+		active:   reg.Gauge("ocserved_runs_active", "Routing runs currently executing."),
+		finished: make(map[string]*metrics.Counter),
+		httpReqs: reg.Counter("ocserved_http_requests_total", "HTTP requests served."),
+	}
+	for _, st := range []string{StateDone, StatePartial, StateFailed, StateCanceled} {
+		s.finished[st] = reg.Counter("ocserved_runs_finished_total",
+			"Routing runs finished, by final state.", metrics.L("state", st))
+	}
+	s.routes()
+	return s
+}
+
+// Registry returns the server's metrics registry, for callers that
+// want to add their own series next to the routing ones.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		if err := s.reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /runs", s.handleList)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /runs/{id}/heatmap.svg", s.handleHeatmap)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpReqs.Inc()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// jobRequest is the POST /runs body (all fields optional except the
+// instance). Query parameters of the same names (snake_case) override
+// body values.
+type jobRequest struct {
+	Flow        string          `json:"flow"`
+	Instance    json.RawMessage `json:"instance"`
+	DeadlineMS  int64           `json:"deadline_ms"`
+	NetBudget   int64           `json:"net_budget"`
+	TotalBudget int64           `json:"total_budget"`
+	Partial     bool            `json:"partial"`
+	HeatWin     int             `json:"heat_win"`
+	Wait        bool            `json:"wait"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 32<<20)); err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req jobRequest
+	// The body is either a wrapper object carrying "instance" or a bare
+	// instance document; a decode error or a missing instance field
+	// means the latter.
+	if err := json.Unmarshal(body.Bytes(), &req); err != nil || req.Instance == nil {
+		req = jobRequest{Instance: json.RawMessage(body.Bytes())}
+	}
+	q := r.URL.Query()
+	if v := q.Get("flow"); v != "" {
+		req.Flow = v
+	}
+	for _, p := range []struct {
+		key string
+		dst *int64
+	}{
+		{"deadline_ms", &req.DeadlineMS},
+		{"net_budget", &req.NetBudget},
+		{"total_budget", &req.TotalBudget},
+	} {
+		if v := q.Get(p.key); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s: %v", p.key, err), http.StatusBadRequest)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("heat_win"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad heat_win: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.HeatWin = n
+	}
+	if v := q.Get("partial"); v != "" {
+		req.Partial = v == "1" || v == "true"
+	}
+	if v := q.Get("wait"); v != "" {
+		req.Wait = v == "1" || v == "true"
+	}
+	if req.Flow == "" {
+		req.Flow = "proposed"
+	}
+	fn, ok := s.flows[req.Flow]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown flow %q", req.Flow), http.StatusBadRequest)
+		return
+	}
+	inst, err := gen.ReadJSON(bytes.NewReader(req.Instance))
+	if err != nil {
+		http.Error(w, "bad instance: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Asynchronous runs live until the server shuts down; waited runs
+	// are scoped to the request, so a client disconnect cancels the
+	// routing work it was waiting for.
+	parent := s.cfg.BaseCtx
+	if req.Wait {
+		parent = r.Context()
+	}
+	ctx, cancel := context.WithCancel(parent)
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("run-%d", s.nextID)
+	ru := &run{
+		id: id, flowName: req.Flow, instance: inst.Name,
+		state: StatePending, submitted: time.Now(), heatWin: req.HeatWin,
+		cancel: cancel, done: make(chan struct{}),
+		builder:   span.NewBuilder(id, nil),
+		collector: obs.NewCollector(),
+	}
+	s.runs[id] = ru
+	s.order = append(s.order, id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go s.execute(ctx, ru, fn, inst, req)
+
+	if req.Wait {
+		<-ru.done
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !req.Wait {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	writeJSON(w, s.status(ru, true))
+}
+
+// execute routes one job. It runs on its own goroutine; every shared
+// field mutation happens under s.mu.
+func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Instance, req jobRequest) {
+	defer close(ru.done)
+	defer ru.cancel()
+	// Wait for a routing slot, abandoning the run if it is canceled
+	// while still queued.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.transition(ru, StateCanceled, nil, errors.New("canceled while pending"))
+		return
+	}
+	s.mu.Lock()
+	ru.state = StateRunning
+	ru.started = time.Now()
+	s.mu.Unlock()
+	s.active.Inc()
+	defer s.active.Dec()
+
+	opts := flow.Options{
+		Tracer: obs.Combine(s.mtr, ru.builder, ru.collector),
+		Ctx:    ctx,
+		Limits: robust.Limits{
+			NetExpansions:   req.NetBudget,
+			TotalExpansions: req.TotalBudget,
+			Timeout:         time.Duration(req.DeadlineMS) * time.Millisecond,
+		},
+		AllowPartial: req.Partial,
+	}
+	res, err := fn(inst, opts)
+	ru.builder.Finish()
+
+	state := StateDone
+	switch {
+	case err == nil:
+		state = StateDone
+	case res != nil && res.LevelB != nil:
+		// Sticky trip with a verified partial result.
+		state = StatePartial
+		if errors.Is(err, robust.ErrCanceled) {
+			state = StateCanceled
+		}
+	case errors.Is(err, robust.ErrCanceled):
+		state = StateCanceled
+	default:
+		state = StateFailed
+	}
+	s.transition(ru, state, res, err)
+}
+
+// transition finalises a run: records the outcome, samples the
+// congestion heatmap, bumps the server metrics.
+func (s *Server) transition(ru *run, state string, res *flow.Result, err error) {
+	var heat *obs.Heatmap
+	if res != nil && res.BGrid != nil {
+		heat = obs.CollectHeatmap(res.BGrid, ru.heatWin)
+	}
+	s.mu.Lock()
+	ru.state = state
+	ru.finished = time.Now()
+	ru.res = res
+	ru.heat = heat
+	if err != nil {
+		ru.err = err.Error()
+	}
+	s.mu.Unlock()
+	if c, ok := s.finished[state]; ok {
+		c.Inc()
+	}
+}
+
+// evictLocked drops the oldest finished runs beyond cfg.KeepRuns.
+// Caller holds s.mu.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.KeepRuns {
+		evicted := false
+		for i, id := range s.order {
+			ru := s.runs[id]
+			if ru.state == StateDone || ru.state == StatePartial ||
+				ru.state == StateFailed || ru.state == StateCanceled {
+				delete(s.runs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still active
+		}
+	}
+}
+
+// RunResult is the JSON view of a finished flow result.
+type RunResult struct {
+	Flow       string `json:"flow"`
+	Area       int64  `json:"area"`
+	Width      int    `json:"width"`
+	Height     int    `json:"height"`
+	WireLength int    `json:"wire_length"`
+	Vias       int    `json:"vias"`
+	Degraded   int    `json:"degraded,omitempty"`
+	LevelBNets int    `json:"level_b_nets,omitempty"`
+	Expanded   int    `json:"expanded,omitempty"`
+}
+
+// RunStatus is the JSON view of one run.
+type RunStatus struct {
+	ID        string        `json:"id"`
+	State     string        `json:"state"`
+	Flow      string        `json:"flow"`
+	Instance  string        `json:"instance,omitempty"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Result    *RunResult    `json:"result,omitempty"`
+	Spans     *span.Summary `json:"spans,omitempty"`
+	// Summary is the per-run collector report (detail view only).
+	Summary string `json:"summary,omitempty"`
+	// SpanTree is the full span list (detail view with ?spans=1).
+	SpanTree []span.Span `json:"span_tree,omitempty"`
+}
+
+// status snapshots one run under the lock. detail adds the span
+// summary; the collector text and span tree are added by handleGet.
+func (s *Server) status(ru *run, detail bool) RunStatus {
+	s.mu.Lock()
+	st := RunStatus{
+		ID: ru.id, State: ru.state, Flow: ru.flowName, Instance: ru.instance,
+		Submitted: ru.submitted, Error: ru.err,
+	}
+	if !ru.started.IsZero() {
+		t := ru.started
+		st.Started = &t
+	}
+	if !ru.finished.IsZero() {
+		t := ru.finished
+		st.Finished = &t
+	}
+	res := ru.res
+	s.mu.Unlock()
+	if res != nil {
+		rr := &RunResult{
+			Flow: res.Flow, Area: res.Area, Width: res.Width, Height: res.Height,
+			WireLength: res.WireLength, Vias: res.Vias, Degraded: res.Degraded,
+		}
+		if res.LevelB != nil {
+			rr.LevelBNets = len(res.LevelB.Routes)
+			rr.Expanded = res.LevelB.Expanded
+		}
+		st.Result = rr
+	}
+	if detail {
+		sum := span.Summarise(ru.builder.Snapshot())
+		st.Spans = &sum
+	}
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	s.mu.Unlock()
+	out := make([]RunStatus, 0, len(ids))
+	// Newest first.
+	for i := len(ids) - 1; i >= 0; i-- {
+		s.mu.Lock()
+		ru, ok := s.runs[ids[i]]
+		s.mu.Unlock()
+		if ok {
+			out = append(out, s.status(ru, false))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *run {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ru := s.runs[id]
+	s.mu.Unlock()
+	if ru == nil {
+		http.Error(w, fmt.Sprintf("unknown run %q", id), http.StatusNotFound)
+	}
+	return ru
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	st := s.status(ru, true)
+	st.Summary = ru.collector.Summary()
+	if v := r.URL.Query().Get("spans"); v == "1" || v == "true" {
+		st.SpanTree = ru.builder.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	s.mu.Lock()
+	state := ru.state
+	s.mu.Unlock()
+	if state != StatePending && state != StateRunning {
+		http.Error(w, fmt.Sprintf("run %s already %s", ru.id, state), http.StatusConflict)
+		return
+	}
+	ru.cancel()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, s.status(ru, false))
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	s.mu.Lock()
+	heat := ru.heat
+	state := ru.state
+	s.mu.Unlock()
+	if heat == nil {
+		code := http.StatusNotFound
+		msg := fmt.Sprintf("run %s has no level B heatmap (state %s)", ru.id, state)
+		if state == StatePending || state == StateRunning {
+			code = http.StatusConflict
+			msg = fmt.Sprintf("run %s still %s", ru.id, state)
+		}
+		http.Error(w, msg, code)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := render.HeatmapSVG(w, heat); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Wait blocks until the identified run finishes (test and CLI
+// convenience); false if the run is unknown.
+func (s *Server) Wait(id string) bool {
+	s.mu.Lock()
+	ru := s.runs[id]
+	s.mu.Unlock()
+	if ru == nil {
+		return false
+	}
+	<-ru.done
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
