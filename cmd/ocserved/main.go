@@ -37,12 +37,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
 	maxRuns := flag.Int("max-runs", 2, "maximum concurrently routing jobs")
+	maxPending := flag.Int("max-pending", 16, "queued runs beyond which submissions get 503")
 	keepRuns := flag.Int("keep-runs", 64, "finished runs retained for /runs")
 	flag.Parse()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s := serve.New(serve.Config{MaxRuns: *maxRuns, KeepRuns: *keepRuns, BaseCtx: ctx})
+	s := serve.New(serve.Config{
+		MaxRuns: *maxRuns, MaxPending: *maxPending, KeepRuns: *keepRuns, BaseCtx: ctx,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Histogram is a power-of-two bucket histogram over non-negative
@@ -70,7 +71,14 @@ func (h *Histogram) String() string {
 
 // Collector aggregates a routing run's events into counters and
 // histograms. The zero value is not usable; call NewCollector.
+//
+// Emit, Count, Events and Summary are goroutine-safe (mirroring
+// span.Builder), so an ops endpoint may read a summary while the
+// routing goroutine is still emitting. Direct reads of the exported
+// fields are unsynchronised and only valid once emission has stopped
+// (the offline CLI pattern).
 type Collector struct {
+	mu     sync.Mutex
 	byType map[EventType]int64
 
 	// Search effort.
@@ -122,6 +130,8 @@ func (c *Collector) Enabled() bool { return true }
 
 // Emit implements Tracer.
 func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.byType[e.Type]++
 	switch e.Type {
 	case EvMBFS:
@@ -169,10 +179,21 @@ func (c *Collector) Emit(e Event) {
 }
 
 // Count returns how many events of the given type were collected.
-func (c *Collector) Count(t EventType) int64 { return c.byType[t] }
+func (c *Collector) Count(t EventType) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byType[t]
+}
 
 // Events returns the total event count.
 func (c *Collector) Events() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eventsLocked()
+}
+
+// eventsLocked sums the per-type counts. Caller holds c.mu.
+func (c *Collector) eventsLocked() int64 {
 	var n int64
 	for _, v := range c.byType {
 		n += v
@@ -182,10 +203,14 @@ func (c *Collector) Events() int64 {
 
 // Summary formats the collected statistics as a stable multi-line
 // report. Iteration over the internal maps goes through sorted keys so
-// two identical runs produce identical summaries.
+// two identical runs produce identical summaries. Safe to call while
+// another goroutine is still emitting: the whole report is rendered
+// under the collector's lock, so it is a consistent snapshot.
 func (c *Collector) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
-	fmt.Fprintf(&b, "events: %d total\n", c.Events())
+	fmt.Fprintf(&b, "events: %d total\n", c.eventsLocked())
 	types := make([]string, 0, len(c.byType))
 	for t := range c.byType {
 		types = append(types, string(t))

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -83,5 +84,54 @@ phase level-b  2.000ms
 `
 	if got := c.Summary(); got != want {
 		t.Errorf("summary golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCollectorConcurrentSummary reads Summary/Count/Events while
+// emitters are still running — the ops-endpoint pattern of GETting a
+// run mid-route. Run under -race this pins the collector's internal
+// locking; the final tallies must also come out exact.
+func TestCollectorConcurrentSummary(t *testing.T) {
+	const goroutines, events = 4, 300
+	c := NewCollector()
+	var emitters, readers sync.WaitGroup
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Summary()
+				_ = c.Count(EvNetDone)
+				_ = c.Events()
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		emitters.Add(1)
+		go func() {
+			defer emitters.Done()
+			for i := 0; i < events; i++ {
+				c.Emit(Event{Type: EvMBFS, Expanded: 2, Levels: i % 4})
+				c.Emit(Event{Type: EvNetDone, Wire: 7, Vias: 1})
+				c.Emit(Event{Type: EvEscalate, Step: 1 + i%3})
+				c.Emit(Event{Type: EvPhaseEnd, Phase: "level-b", DurNS: 5})
+			}
+		}()
+	}
+	emitters.Wait()
+	close(stop)
+	readers.Wait()
+	if got := c.Count(EvNetDone); got != goroutines*events {
+		t.Errorf("net_done = %d, want %d", got, goroutines*events)
+	}
+	if got := c.Events(); got != 4*goroutines*events {
+		t.Errorf("events = %d, want %d", got, 4*goroutines*events)
+	}
+	if c.Expanded != 2*goroutines*events || c.Wire != 7*goroutines*events {
+		t.Errorf("expanded=%d wire=%d", c.Expanded, c.Wire)
 	}
 }

@@ -158,17 +158,32 @@ func signature(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		writeLabelValue(&b, l.Value)
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
-// escapeLabel applies the exposition-format label escapes.
-func escapeLabel(v string) string {
-	v = strings.ReplaceAll(v, `\`, `\\`)
-	v = strings.ReplaceAll(v, "\n", `\n`)
-	return v
+// writeLabelValue quotes v with exactly the three escapes the
+// exposition format defines (backslash, double quote, newline); all
+// other bytes — including non-ASCII UTF-8 — pass through verbatim.
+func writeLabelValue(b *strings.Builder, v string) {
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
 }
 
 // Counter is a monotonically increasing int64. Negative deltas are

@@ -131,6 +131,36 @@ func TestHistogramOverflowBucket(t *testing.T) {
 	}
 }
 
+// TestLabelValueEscaping pins the exposition-format label escapes:
+// exactly backslash, double quote and newline are escaped, once each,
+// and non-ASCII UTF-8 passes through verbatim (no Go-style \x/\u
+// escapes).
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("v", `back\slash`)).Inc()
+	r.Counter("esc_total", "h", L("v", `qu"ote`)).Inc()
+	r.Counter("esc_total", "h", L("v", "new\nline")).Inc()
+	r.Counter("esc_total", "h", L("v", "phase-β")).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`esc_total{v="back\\slash"} 1`,
+		`esc_total{v="qu\"ote"} 1`,
+		`esc_total{v="new\nline"} 1`,
+		`esc_total{v="phase-β"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\\\\`) || strings.Contains(out, `\x`) || strings.Contains(out, `\u`) {
+		t.Errorf("double or Go-style escaping leaked into:\n%s", out)
+	}
+}
+
 func TestTracerMapsEvents(t *testing.T) {
 	r := NewRegistry()
 	tr := NewTracer(r)

@@ -130,19 +130,18 @@ func OrNop(t Tracer) Tracer {
 	return t
 }
 
-// Multi fans every event out to all member tracers. Build it via
-// Combine, which vets member liveness once: every member of a
-// Combine-built Multi is enabled, so Emit dispatches without
-// re-checking Enabled() per event. A hand-built Multi must likewise
-// contain only enabled tracers.
-type Multi []Tracer
+// multi fans every event out to all member tracers. It is unexported
+// so Combine is the only constructor: Combine vets member liveness
+// once at build time, so every member of a multi is enabled and Emit
+// dispatches without re-checking Enabled() per event.
+type multi []Tracer
 
 // Enabled implements Tracer. Liveness was cached at build time
-// (Combine drops disabled members), so a non-empty Multi is enabled.
-func (m Multi) Enabled() bool { return len(m) > 0 }
+// (Combine drops disabled members), so a non-empty multi is enabled.
+func (m multi) Enabled() bool { return len(m) > 0 }
 
 // Emit implements Tracer.
-func (m Multi) Emit(e Event) {
+func (m multi) Emit(e Event) {
 	for _, t := range m {
 		t.Emit(e)
 	}
@@ -164,5 +163,5 @@ func Combine(trs ...Tracer) Tracer {
 	case 1:
 		return live[0]
 	}
-	return Multi(live)
+	return multi(live)
 }

@@ -28,7 +28,7 @@ func TestNopAndCombine(t *testing.T) {
 	}
 	w := NewWriter(&bytes.Buffer{})
 	m := Combine(c, w)
-	if _, ok := m.(Multi); !ok || !m.Enabled() {
+	if _, ok := m.(multi); !ok || !m.Enabled() {
 		t.Fatalf("Combine(two) = %T enabled=%v", m, m.Enabled())
 	}
 	m.Emit(Event{Type: EvMBFS, Expanded: 3})

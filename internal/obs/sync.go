@@ -16,9 +16,9 @@ type synced struct {
 // build-time property of every tracer in this package.
 //
 // Use it when one tracer aggregates events from concurrent routing
-// runs (a Collector shared by a server, a Writer fed by parallel
-// workers). Tracers that are already goroutine-safe — the metrics
-// registry adapter, Nop — do not need it. A nil or disabled t
+// runs (a Writer fed by parallel workers). Tracers that are already
+// goroutine-safe — the metrics registry adapter, Collector, Nop —
+// do not need it. A nil or disabled t
 // collapses to Nop so the wrapper never costs a lock when tracing is
 // off.
 func Synced(t Tracer) Tracer {

@@ -21,7 +21,9 @@
 // flow under a robust.Budget bound to a context: asynchronous runs
 // are scoped to the server's lifetime, while ?wait=1 runs are scoped
 // to the HTTP request itself — client disconnect cancels the routing
-// run (request-scoped cancellation).
+// run (request-scoped cancellation). MaxRuns caps concurrent routing;
+// MaxPending caps the queue behind it, and a full queue rejects
+// further submissions with 503.
 //
 // Every run feeds three tracers at once via obs.Combine: the shared
 // goroutine-safe metrics registry adapter (live /metrics counters),
@@ -65,6 +67,10 @@ type Config struct {
 	// MaxRuns caps concurrently routing jobs; further submissions queue
 	// as pending. 0 means 2.
 	MaxRuns int
+	// MaxPending caps queued (pending, not yet routing) runs; beyond
+	// it, POST /runs is rejected with 503 so a submission burst cannot
+	// grow goroutines and parsed instances without bound. 0 means 16.
+	MaxPending int
 	// KeepRuns caps retained finished runs; the oldest are evicted
 	// first. 0 means 64.
 	KeepRuns int
@@ -87,6 +93,7 @@ type Server struct {
 
 	active   *metrics.Gauge
 	finished map[string]*metrics.Counter // by final state
+	rejected *metrics.Counter
 	httpReqs *metrics.Counter
 
 	mu     sync.Mutex
@@ -118,6 +125,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxRuns <= 0 {
 		cfg.MaxRuns = 2
 	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 16
+	}
 	if cfg.KeepRuns <= 0 {
 		cfg.KeepRuns = 64
 	}
@@ -140,6 +150,8 @@ func New(cfg Config) *Server {
 		},
 		active:   reg.Gauge("ocserved_runs_active", "Routing runs currently executing."),
 		finished: make(map[string]*metrics.Counter),
+		rejected: reg.Counter("ocserved_runs_rejected_total",
+			"Submissions rejected because the pending-run queue was full."),
 		httpReqs: reg.Counter("ocserved_http_requests_total", "HTTP requests served."),
 	}
 	for _, st := range []string{StateDone, StatePartial, StateFailed, StateCanceled} {
@@ -271,6 +283,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(parent)
 
 	s.mu.Lock()
+	// Admission control: MaxRuns bounds routing concurrency, MaxPending
+	// bounds the queue behind it. The check shares the registration
+	// critical section, so the pending count is exact.
+	if s.pendingLocked() >= s.cfg.MaxPending {
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "pending run queue full", http.StatusServiceUnavailable)
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("run-%d", s.nextID)
 	ru := &run{
@@ -368,6 +391,18 @@ func (s *Server) transition(ru *run, state string, res *flow.Result, err error) 
 	if c, ok := s.finished[state]; ok {
 		c.Inc()
 	}
+}
+
+// pendingLocked counts runs still queued for a routing slot. Caller
+// holds s.mu.
+func (s *Server) pendingLocked() int {
+	n := 0
+	for _, ru := range s.runs {
+		if ru.state == StatePending {
+			n++
+		}
+	}
+	return n
 }
 
 // evictLocked drops the oldest finished runs beyond cfg.KeepRuns.

@@ -13,6 +13,7 @@ import (
 
 	"overcell/internal/flow"
 	"overcell/internal/gen"
+	"overcell/internal/obs"
 	"overcell/internal/robust"
 )
 
@@ -251,6 +252,102 @@ func TestCancelRunningAndPending(t *testing.T) {
 	// A second DELETE conflicts.
 	if code := del(first.ID); code != 409 {
 		t.Errorf("DELETE finished = %d, want 409", code)
+	}
+}
+
+// TestGetRunningRunDetail GETs a run's detail view — collector
+// summary and span tree included — while its flow is still emitting
+// events. Under -race this pins the mid-run read path: the collector
+// and span builder must serve consistent snapshots against a live
+// emitter.
+func TestGetRunningRunDetail(t *testing.T) {
+	s := New(Config{MaxRuns: 1})
+	running := make(chan struct{}, 1)
+	s.flows["chatty"] = func(inst *gen.Instance, opt flow.Options) (*flow.Result, error) {
+		tr := obs.OrNop(opt.Tracer)
+		running <- struct{}{}
+		for {
+			select {
+			case <-opt.Ctx.Done():
+				return nil, fmt.Errorf("chatty flow: %w", robust.ErrCanceled)
+			default:
+				tr.Emit(obs.Event{Type: obs.EvMBFS, Expanded: 3, Levels: 1})
+				tr.Emit(obs.Event{Type: obs.EvNetDone, Net: "n", Wire: 5, Vias: 1})
+			}
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, st, _ := postRun(t, ts.URL, "?flow=chatty", testInstance(t))
+	select {
+	case <-running:
+	case <-time.After(5 * time.Second):
+		t.Fatal("chatty run never started")
+	}
+	for i := 0; i < 20; i++ {
+		code, body := getBody(t, ts.URL+"/runs/"+st.ID+"?spans=1")
+		if code != 200 || !strings.Contains(body, "events:") {
+			t.Fatalf("mid-run detail = %d %.200s", code, body)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !s.Wait(st.ID) {
+		t.Fatal("chatty run unknown")
+	}
+}
+
+// TestPendingQueueCap fills the single routing slot and the pending
+// queue, then checks that the next submission is shed with 503 and
+// counted, instead of growing the queue without bound.
+func TestPendingQueueCap(t *testing.T) {
+	s := New(Config{MaxRuns: 1, MaxPending: 1})
+	running := make(chan struct{}, 1)
+	s.flows["block"] = func(inst *gen.Instance, opt flow.Options) (*flow.Result, error) {
+		running <- struct{}{}
+		<-opt.Ctx.Done()
+		return nil, fmt.Errorf("blocked flow: %w", robust.ErrCanceled)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inst := testInstance(t)
+	_, first, _ := postRun(t, ts.URL, "?flow=block", inst)
+	select {
+	case <-running:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first run never started")
+	}
+	code, second, _ := postRun(t, ts.URL, "?flow=block", inst)
+	if code != 202 {
+		t.Fatalf("queued submission = %d, want 202", code)
+	}
+	code, _, raw := postRun(t, ts.URL, "?flow=block", inst)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap submission = %d %.200s, want 503", code, raw)
+	}
+	if _, body := getBody(t, ts.URL+"/metrics"); !strings.Contains(body, "ocserved_runs_rejected_total 1") {
+		t.Error("metrics missing rejected submission count")
+	}
+	// Shedding is transient: cancelling the queued run frees the slot.
+	for _, id := range []string{second.ID, first.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !s.Wait(id) {
+			t.Fatalf("run %s unknown", id)
+		}
+	}
+	if code, _, _ := postRun(t, ts.URL, "?flow=baseline&wait=1", inst); code != 200 {
+		t.Errorf("post-drain submission = %d, want 200", code)
 	}
 }
 
