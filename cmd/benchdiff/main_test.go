@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"overcell/internal/obs"
+)
+
+func writeSnapshot(t *testing.T, path, tag, generatedAt string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = obs.WriteBench(f, &obs.BenchFile{
+		Schema: obs.BenchSchemaVersion, Tag: tag, GoVersion: "go1.24.0",
+		GeneratedAt: generatedAt,
+		Host:        &obs.BenchHost{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, NumCPU: 1},
+		Benchmarks:  []obs.BenchEntry{{Name: "levelb/nets100/seq", Runs: 3, NsPerOp: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewestCommittedNoBaseline locks the loud-failure contract of
+// single-argument mode: with no committed BENCH_*.json present,
+// newestCommitted must return an error (which main routes to die and
+// exit status 2) rather than silently comparing nothing.
+func TestNewestCommittedNoBaseline(t *testing.T) {
+	t.Chdir(t.TempDir())
+	writeSnapshot(t, "fresh.json", "fresh", "2026-08-06T00:00:00Z")
+	if _, err := newestCommitted("fresh.json"); err == nil {
+		t.Fatal("newestCommitted with no baselines returned nil error; single-arg mode would gate against nothing")
+	} else if !strings.Contains(err.Error(), "no committed BENCH_") {
+		t.Fatalf("error %q does not name the missing baseline pattern", err)
+	}
+}
+
+// TestNewestCommittedExcludesSelf: the snapshot under test never
+// serves as its own baseline, even when it matches BENCH_*.json.
+func TestNewestCommittedExcludesSelf(t *testing.T) {
+	t.Chdir(t.TempDir())
+	writeSnapshot(t, "BENCH_new.json", "new", "2026-08-06T00:00:00Z")
+	if _, err := newestCommitted("BENCH_new.json"); err == nil {
+		t.Fatal("snapshot under test was accepted as its own baseline")
+	}
+}
+
+// TestNewestCommittedPicksLatest: among several committed snapshots
+// the one with the newest generated_at stamp wins, regardless of glob
+// or mtime order.
+func TestNewestCommittedPicksLatest(t *testing.T) {
+	t.Chdir(t.TempDir())
+	writeSnapshot(t, "BENCH_pr3.json", "pr3", "2026-05-01T00:00:00Z")
+	writeSnapshot(t, "BENCH_pr5.json", "pr5", "2026-08-06T00:00:00Z")
+	writeSnapshot(t, "BENCH_pr4.json", "pr4", "2026-06-15T00:00:00Z")
+	writeSnapshot(t, "fresh.json", "fresh", "2026-08-07T00:00:00Z")
+	got, err := newestCommitted("fresh.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "BENCH_pr5.json" {
+		t.Fatalf("newestCommitted = %q, want BENCH_pr5.json", got)
+	}
+}
+
+// TestNewestCommittedRejectsCorruptBaseline: a malformed committed
+// snapshot is an error, not a silently skipped candidate.
+func TestNewestCommittedRejectsCorruptBaseline(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if err := os.WriteFile("BENCH_bad.json", []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSnapshot(t, "fresh.json", "fresh", "2026-08-06T00:00:00Z")
+	if _, err := newestCommitted("fresh.json"); err == nil {
+		t.Fatal("corrupt baseline candidate was silently ignored")
+	}
+}

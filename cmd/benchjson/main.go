@@ -21,6 +21,9 @@
 // -deadline and -budget bound each workload run (a safety rail when
 // benchmarking hostile or oversized instances); a tripped budget fails
 // the workload rather than silently snapshotting a partial route.
+// -workers sizes the parallel half of the levelb sequential/parallel
+// pair, and -only restricts the run to workloads whose name contains
+// the given substring (e.g. -only levelb/ for just that pair).
 package main
 
 import (
@@ -28,14 +31,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"overcell/internal/core"
 	"overcell/internal/flow"
 	"overcell/internal/gen"
 	"overcell/internal/geom"
 	"overcell/internal/grid"
 	"overcell/internal/maze"
 	"overcell/internal/metrics"
+	"overcell/internal/netlist"
 	"overcell/internal/obs"
 	"overcell/internal/robust"
 	"overcell/internal/tig"
@@ -45,12 +51,17 @@ import (
 // workload. Zero means unbounded, matching pre-flag behaviour.
 var guard robust.Limits
 
+// workersFlag sizes the parallel entry of the levelb pair.
+var workersFlag int
+
 func main() {
 	tag := flag.String("tag", "dev", "snapshot tag (becomes BENCH_<tag>.json)")
 	out := flag.String("o", "", "output file (default BENCH_<tag>.json)")
 	runs := flag.Int("runs", 1, "timing runs per workload; the fastest is kept")
+	only := flag.String("only", "", "run only workloads whose name contains this substring")
 	flag.DurationVar(&guard.Timeout, "deadline", 0, "wall-clock budget per workload run (0 = none)")
 	flag.Int64Var(&guard.NetExpansions, "budget", 0, "search-expansion budget per net (0 = unlimited)")
+	flag.IntVar(&workersFlag, "workers", 4, "worker count for the parallel levelb workload")
 	flag.Parse()
 	if *runs < 1 {
 		*runs = 1
@@ -72,6 +83,9 @@ func main() {
 		},
 	}
 	for _, b := range workloads() {
+		if *only != "" && !strings.Contains(b.name, *only) {
+			continue
+		}
 		entry, err := measure(b, *runs)
 		if err != nil {
 			die(fmt.Errorf("%s: %w", b.name, err))
@@ -213,8 +227,63 @@ func workloads() []workload {
 		}
 		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil
 	}})
+	// The parallelism pair: the identical dense level B instance routed
+	// serially and with the speculate/validate/commit driver. The two
+	// entries' ns/op ratio is the headline parallel speedup; their
+	// result metrics (expanded/wire/failed) must match exactly — the
+	// parallel driver is deterministic by construction.
+	ws = append(ws, workload{"levelb/nets100/seq", func() (map[string]float64, error) {
+		return levelB(1)
+	}})
+	ws = append(ws, workload{fmt.Sprintf("levelb/nets100/par%d", workersFlag), func() (map[string]float64, error) {
+		return levelB(workersFlag)
+	}})
 	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
 	return ws
+}
+
+// levelB routes a dense synthetic instance (96x96 grid, 100
+// two-terminal nets, deterministic LCG placement) straight through
+// internal/core with the given worker count.
+func levelB(workers int) (map[string]float64, error) {
+	g, err := grid.Uniform(96, 96, 10)
+	if err != nil {
+		return nil, err
+	}
+	nl := netlist.New()
+	seed := uint64(13)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	used := map[geom.Point]bool{}
+	pick := func() geom.Point {
+		for {
+			p := geom.Pt(next(96)*10, next(96)*10)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			return p
+		}
+	}
+	for i := 0; i < 100; i++ {
+		nl.AddPoints(fmt.Sprintf("n%d", i), netlist.Signal, pick(), pick())
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	if !guard.Zero() {
+		cfg.Budget = robust.NewBudget(nil, guard)
+	}
+	res, err := core.New(g, cfg).Route(nl.Nets())
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"expanded": float64(res.Expanded),
+		"wire":     float64(res.WireLength),
+		"failed":   float64(res.Failed),
+	}, nil
 }
 
 func runFlow(mk func() (*gen.Instance, error),

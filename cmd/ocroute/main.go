@@ -63,6 +63,7 @@ func run() int {
 	budget := flag.Int64("budget", 0, "search-expansion budget per net (0 = unlimited)")
 	totalBudget := flag.Int64("total-budget", 0, "search-expansion budget for the whole run (0 = unlimited)")
 	partial := flag.Bool("partial", false, "accept runs where some nets degraded under the budget instead of failing")
+	workers := flag.Int("workers", 0, "level B speculative routing workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -105,6 +106,7 @@ func run() int {
 			Timeout:         *deadline,
 		},
 		AllowPartial: *partial,
+		Workers:      *workers,
 	}
 
 	if *cpuprofile != "" {

@@ -39,12 +39,14 @@ func main() {
 	maxRuns := flag.Int("max-runs", 2, "maximum concurrently routing jobs")
 	maxPending := flag.Int("max-pending", 16, "queued runs beyond which submissions get 503")
 	keepRuns := flag.Int("keep-runs", 64, "finished runs retained for /runs")
+	workers := flag.Int("workers", 0, "default level B routing workers per run, overridable per job with ?workers= (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	s := serve.New(serve.Config{
-		MaxRuns: *maxRuns, MaxPending: *maxPending, KeepRuns: *keepRuns, BaseCtx: ctx,
+		MaxRuns: *maxRuns, MaxPending: *maxPending, KeepRuns: *keepRuns,
+		BaseCtx: ctx, Workers: *workers,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,8 +1,8 @@
-// Package analysis is the router's custom lint suite: four analyzers
+// Package analysis is the router's custom lint suite: five analyzers
 // that statically enforce the properties the level B router's results
 // depend on — deterministic routing decisions, checked design-rule
-// verification, sound geometry keys and arithmetic, and statically
-// valid router configurations. cmd/oclint wires them into a vettool
+// verification, sound geometry keys and arithmetic, statically valid
+// router configurations, and no shadowing of predeclared builtins. cmd/oclint wires them into a vettool
 // runnable as `go vet -vettool=$(which oclint) ./...`.
 //
 // The suite encodes the "catch it before you route" discipline of the
@@ -31,6 +31,7 @@ func All() []*framework.Analyzer {
 		CheckedVerify,
 		PointKey,
 		StaticDRC,
+		ShadowBuiltin,
 	}
 }
 

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"overcell/internal/analysis/framework"
+)
+
+// ShadowBuiltin flags declarations — variables, parameters, constants,
+// named types, functions and renamed imports — whose name is one of
+// Go's predeclared builtin functions (len, cap, make, new, copy, min,
+// max, ...). Inside such a scope a call like cap(victims) silently
+// resolves to the local, and the resulting bug reads exactly like
+// correct code; the rip-up victim cap in the level B router shipped
+// that way. Struct fields and methods are exempt: selector syntax
+// keeps them out of the builtin's scope.
+var ShadowBuiltin = &framework.Analyzer{
+	Name: "shadowbuiltin",
+	Doc: "flag declarations that shadow predeclared builtin functions\n\n" +
+		"A local named len, cap, copy, min, max (or any other builtin\n" +
+		"function) captures every call to that builtin in its scope, and\n" +
+		"the shadowed call still compiles whenever the local happens to be\n" +
+		"callable or the call site never executes. Rename the declaration.",
+	Run: runShadowBuiltin,
+}
+
+func runShadowBuiltin(pass *framework.Pass) error {
+	if !inModule(pass.Pkg.Path(), "shadowbuiltin") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				return true
+			}
+			if _, isBuiltin := types.Universe.Lookup(id.Name).(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.Var:
+				// Fields are reached by selector only; they cannot
+				// shadow. Everything else — locals, params, results,
+				// receivers — can.
+				if o.IsField() {
+					return true
+				}
+			case *types.Func:
+				// Methods (including interface methods) are likewise
+				// selector-scoped.
+				if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+			case *types.Const, *types.TypeName, *types.PkgName:
+				// All shadow the builtin for the rest of their scope.
+			default:
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"declaration of %s shadows the predeclared builtin; calls to %s(...) in this scope resolve to the local",
+				id.Name, id.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package shadowbuiltin is the analysistest corpus for the
+// shadowbuiltin analyzer: declarations that capture predeclared
+// builtin functions.
+package shadowbuiltin
+
+// trimVictims reproduces the routed bug shape: a local named cap makes
+// the later builtin call read correctly and mean something else.
+func trimVictims(victims []int, limit int) []int {
+	cap := limit // want `declaration of cap shadows the predeclared builtin`
+	if len(victims) > cap {
+		victims = victims[:cap]
+	}
+	return victims
+}
+
+// Parameters shadow for the whole function body.
+func window(len int) int { // want `declaration of len shadows the predeclared builtin`
+	return len * 2
+}
+
+// Constants shadow for the rest of the package block.
+const max = 64 // want `declaration of max shadows the predeclared builtin`
+
+// Named types shadow too.
+type delete struct{} // want `declaration of delete shadows the predeclared builtin`
+
+// Short declarations in nested scopes.
+func total(xs []int) int {
+	min := 0 // want `declaration of min shadows the predeclared builtin`
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Package-level functions shadow everywhere in the package.
+func new() int { return 0 } // want `declaration of new shadows the predeclared builtin`

@@ -1,0 +1,26 @@
+package shadowbuiltin
+
+// Selector-scoped names cannot shadow: struct fields and methods named
+// after builtins are legal style and must stay silent.
+type ring struct {
+	len int
+	cap int
+}
+
+func (r ring) Len() int { return r.len }
+
+// A method named after a builtin is reached as r.append(...), never
+// bare, so it does not capture the builtin either.
+func (r ring) append(x int) ring { _ = x; return r }
+
+// Predeclared type names (int, string, error, byte...) are not builtin
+// functions; locals reusing them are a different, far noisier class
+// this analyzer deliberately leaves alone.
+func hypot(int int) int { return int }
+
+// Ordinary names that merely use builtins are fine.
+func grow(xs []int) []int {
+	out := make([]int, len(xs), cap(xs)+8)
+	copy(out, xs)
+	return out
+}

@@ -16,6 +16,8 @@
 package core
 
 import (
+	"runtime"
+
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
 	"overcell/internal/robust"
@@ -131,6 +133,16 @@ type Config struct {
 	// exhaustion, deadline expiry and cancellation stop the run with a
 	// partial Result. Nil means unbounded.
 	Budget *robust.Budget
+	// Workers sets the speculative worker count for the level B first
+	// pass: batches of up to Workers pending nets route concurrently
+	// against read-only grid snapshots, and a single committer validates
+	// the speculative paths in the original serial order, re-running any
+	// net whose congestion window an earlier commit in the batch
+	// touched. Parallelism never changes the result — paths, costs,
+	// rip-up decisions and trace payloads are identical for every value
+	// (see DESIGN.md section 13). 0 means GOMAXPROCS; 1 or negative
+	// routes serially.
+	Workers int
 }
 
 // Rip-up recovery defaults.
@@ -154,6 +166,16 @@ func (c *Config) ripupVictims() int {
 		return DefaultRipupVictims
 	}
 	return c.RipupVictims
+}
+
+func (c *Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // DefaultExpansions widen the window gently before falling back to the

@@ -1,0 +1,263 @@
+// Parallel first-pass routing: speculate in parallel, validate and
+// commit in serial order.
+//
+// The level B pass is sequential by definition — each net's cost
+// depends on the congestion the earlier nets committed — but most
+// nets' congestion windows never overlap, so their searches commute.
+// With Config.Workers > 1 the router takes the pending nets in batches
+// of up to Workers: every net in the batch routes speculatively, on
+// its own goroutine, against a read-only snapshot of the grid taken at
+// the batch boundary, with a forked budget and a buffering tracer.
+// A single committer then walks the batch in the original serial
+// order and, per net, either
+//
+//   - commits the speculation — replaying its buffered events, folding
+//     its budget charges into the run budget and applying its metal to
+//     the live grid — when no earlier commit in the batch touched any
+//     grid window the speculation read, or
+//   - discards it and re-runs the net sequentially on the live grid
+//     (a conflict), which is always safe because the committer runs
+//     alone.
+//
+// The read windows are the search bounding boxes of every ladder
+// attempt, dilated by the cost evaluator's look-around (corner window
+// and coupling distance), so "no earlier commit touched them" implies
+// every grid query the speculation issued would have returned the same
+// answer on the live grid — the speculative result is byte-identical
+// to what a serial run would have computed at that position.
+// Determinism is therefore a structural invariant, not a tuning
+// outcome: for any Workers value the chosen paths, costs, rip-up
+// decisions and trace event payloads equal the Workers=1 run. The one
+// addition is an EvParallel event per batch reporting the speculation
+// and conflict counts; it carries no routing state and run comparisons
+// ignore it.
+
+package core
+
+import (
+	"sync"
+
+	"overcell/internal/geom"
+	"overcell/internal/netlist"
+	"overcell/internal/obs"
+	"overcell/internal/tig"
+)
+
+// readWindow accumulates the dilated grid windows one speculative
+// routing attempt observed. pad extends every recorded search window
+// by the evaluator's look-around so corner-proximity and coupling
+// reads just outside the search bounds are covered too.
+type readWindow struct {
+	pad   int
+	rects []readRect
+}
+
+type readRect struct {
+	cols, rows geom.Interval
+}
+
+func (w *readWindow) add(cols, rows geom.Interval) {
+	w.rects = append(w.rects, readRect{
+		cols: geom.Iv(cols.Lo-w.pad, cols.Hi+w.pad),
+		rows: geom.Iv(rows.Lo-w.pad, rows.Hi+w.pad),
+	})
+}
+
+// readPad returns the dilation for read windows under the given
+// (evaluator-normalised) weights: the corner proximity terms look
+// Window tracks around each path corner, and the coupling term looks
+// CouplingDist tracks around each segment.
+func readPad(w Weights) int {
+	pad := w.Window
+	if w.Coupling > 0 {
+		d := w.CouplingDist
+		if d <= 0 {
+			d = 1
+		}
+		if d > pad {
+			pad = d
+		}
+	}
+	return pad
+}
+
+// batchDelta is the set of grid changes applied by the nets already
+// processed in the current batch: each committed or re-run net
+// contributes its shape (blockage + wire overlays) and its terminal
+// points (the terminal overlay flips while a net routes). A
+// speculation is valid iff none of its read windows touch the delta.
+type batchDelta struct {
+	shapes []*shape
+	terms  [][]tig.Point
+}
+
+func (d *batchDelta) add(sh *shape, terms []tig.Point) {
+	if sh != nil {
+		d.shapes = append(d.shapes, sh)
+	}
+	if len(terms) > 0 {
+		d.terms = append(d.terms, terms)
+	}
+}
+
+func (d *batchDelta) touches(w *readWindow) bool {
+	for _, rc := range w.rects {
+		for _, sh := range d.shapes {
+			if sh.intersects(rc.cols, rc.rows) {
+				return true
+			}
+		}
+		for _, ts := range d.terms {
+			for _, p := range ts {
+				if rc.cols.Contains(p.Col) && rc.rows.Contains(p.Row) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// recorder buffers trace events emitted during a speculation so the
+// committer can replay them in commit order. Enabled mirrors the real
+// tracer's state, so disabled tracing keeps its zero cost inside
+// speculations too.
+type recorder struct {
+	live   bool
+	events []obs.Event
+}
+
+func (t *recorder) Enabled() bool    { return t.live }
+func (t *recorder) Emit(e obs.Event) { t.events = append(t.events, e) }
+
+// speculation is one net's routing attempt against a snapshot, plus
+// everything the committer needs to validate and apply it.
+type speculation struct {
+	net   *netlist.Net
+	terms []tig.Point
+	rank  int
+
+	nr     *NetRoute
+	sh     *shape
+	read   *readWindow
+	events []obs.Event
+	used   int64 // expansions charged to the budget fork
+	// forkErr is the fork's sticky state after the attempt (total-cap
+	// trip, deadline, cancellation). Any of those makes the outcome
+	// dependent on where the batch boundary fell, so the committer
+	// discards the speculation and re-runs the net serially, letting
+	// the run budget trip (or not) exactly as a serial run would.
+	forkErr error
+}
+
+// routeAllSpeculative is the parallel form of the first pass. The
+// observable behaviour — routes, budget accounting, trace payloads —
+// is identical to routeAllSerial; see the package comment above.
+func (r *Router) routeAllSpeculative(env *routeEnv, ordered []*netlist.Net,
+	termPts map[netlist.NetID][]tig.Point,
+	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
+	res *Result, workers int) error {
+	var sticky error
+	for start := 0; start < len(ordered); start += workers {
+		end := geom.Min(start+workers, len(ordered))
+		batch := ordered[start:end]
+		var specs []*speculation
+		if sticky == nil && len(batch) > 1 && env.budget.Err() == nil {
+			specs = r.speculate(env, batch, start, termPts)
+		}
+		delta := &batchDelta{}
+		conflicts := 0
+		for bi, net := range batch {
+			if sticky = r.pollSticky(env, sticky); sticky != nil {
+				routes[net.ID] = skippedRoute(net, termPts[net.ID], sticky)
+				continue
+			}
+			if specs != nil {
+				if sp := specs[bi]; sp.nr != nil && sp.forkErr == nil &&
+					!delta.touches(sp.read) && env.budget.CanCommit(sp.used) {
+					r.commitSpeculation(env, sp, res)
+					routes[net.ID], shapes[net.ID] = sp.nr, sp.sh
+					delta.add(sp.sh, sp.terms)
+					continue
+				}
+				conflicts++
+			}
+			nr, sh := r.routeNet(env, net, termPts[net.ID], res, start+bi+1)
+			routes[net.ID], shapes[net.ID] = nr, sh
+			delta.add(sh, termPts[net.ID])
+		}
+		if specs != nil && env.tr.Enabled() {
+			env.tr.Emit(obs.Event{
+				Type: obs.EvParallel, Phase: "level-b",
+				Speculated: len(specs), Conflicts: conflicts,
+			})
+		}
+	}
+	return sticky
+}
+
+// speculate routes every net of the batch concurrently against
+// snapshots of the live grid and waits for all attempts.
+func (r *Router) speculate(env *routeEnv, batch []*netlist.Net, start int,
+	termPts map[netlist.NetID][]tig.Point) []*speculation {
+	specs := make([]*speculation, len(batch))
+	var wg sync.WaitGroup
+	for bi, net := range batch {
+		sp := &speculation{net: net, terms: termPts[net.ID], rank: start + bi + 1}
+		specs[bi] = sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runSpeculation(env, sp)
+		}()
+	}
+	wg.Wait()
+	return specs
+}
+
+// runSpeculation executes one net's routing attempt in isolation: a
+// private grid clone, a budget fork, a buffering tracer and a fresh
+// cost evaluator (same normalisation — the track coordinates are
+// shared). A panic during speculation is swallowed by leaving sp.nr
+// nil: the committer then re-runs the net serially, where the failure
+// reproduces in the ordinary single-threaded context.
+func (r *Router) runSpeculation(env *routeEnv, sp *speculation) {
+	defer func() { _ = recover() }()
+	snap := env.g.Clone()
+	fork := env.budget.Fork()
+	rec := &recorder{live: env.tr.Enabled()}
+	eval := newCostEvaluator(snap, r.cfg.Weights)
+	senv := &routeEnv{
+		g: snap, tr: rec, budget: fork,
+		eval: eval,
+		read: &readWindow{pad: readPad(eval.w)},
+	}
+	scratch := &Result{}
+	nr, sh := r.routeNet(senv, sp.net, sp.terms, scratch, sp.rank)
+	sp.read = senv.read
+	sp.events = rec.events
+	sp.used = fork.Used()
+	sp.forkErr = fork.Err()
+	sp.sh = sh
+	sp.nr = nr // set last: a nil nr marks a speculation that died mid-flight
+}
+
+// commitSpeculation applies a validated speculation to the live run:
+// budget charges fold in as one reservation batch, the grid mutations
+// replay in routeNet's order (terminal overlay off, metal on, terminal
+// stacks re-blocked), and the buffered trace events emit in order.
+func (r *Router) commitSpeculation(env *routeEnv, sp *speculation, res *Result) {
+	env.budget.BeginNet()
+	env.budget.Commit(sp.used)
+	for _, p := range sp.terms {
+		env.g.ClearTerminal(p.Col, p.Row)
+	}
+	sp.sh.commit(env.g)
+	for _, p := range sp.terms {
+		env.g.BlockPoint(p.Col, p.Row)
+	}
+	res.Expanded += sp.nr.Expanded
+	for _, e := range sp.events {
+		env.tr.Emit(e)
+	}
+}

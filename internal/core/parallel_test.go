@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"overcell/internal/geom"
+	"overcell/internal/grid"
+	"overcell/internal/netlist"
+	"overcell/internal/obs"
+	"overcell/internal/robust"
+)
+
+// The worker-count equivalence tests are the enforcement of the
+// parallel router's determinism invariant: for any Workers value the
+// routes, costs, rip-up decisions and trace event payloads must be
+// byte-identical to the Workers=1 run. Only the EvParallel batch
+// summaries (absent from serial runs by definition) are filtered
+// before comparison.
+
+func errText(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+func assertResultsEqual(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if len(want.Routes) != len(got.Routes) {
+		t.Fatalf("%s: %d routes vs %d", label, len(want.Routes), len(got.Routes))
+	}
+	for i := range want.Routes {
+		a, b := want.Routes[i], got.Routes[i]
+		if a.Net.Name != b.Net.Name {
+			t.Fatalf("%s: route %d is net %q vs %q — ordering diverged", label, i, a.Net.Name, b.Net.Name)
+		}
+		if !reflect.DeepEqual(a.Segments, b.Segments) {
+			t.Errorf("%s: net %q segments diverge:\n  serial:   %v\n  parallel: %v", label, a.Net.Name, a.Segments, b.Segments)
+		}
+		if !reflect.DeepEqual(a.Vias, b.Vias) {
+			t.Errorf("%s: net %q vias diverge: %v vs %v", label, a.Net.Name, a.Vias, b.Vias)
+		}
+		if a.WireLength != b.WireLength || a.Corners != b.Corners ||
+			a.Expanded != b.Expanded || a.Escalations != b.Escalations {
+			t.Errorf("%s: net %q metrics diverge: wire %d/%d corners %d/%d expanded %d/%d escalations %d/%d",
+				label, a.Net.Name, a.WireLength, b.WireLength, a.Corners, b.Corners,
+				a.Expanded, b.Expanded, a.Escalations, b.Escalations)
+		}
+		if errText(a.Err) != errText(b.Err) {
+			t.Errorf("%s: net %q error diverges: %q vs %q", label, a.Net.Name, errText(a.Err), errText(b.Err))
+		}
+	}
+	if want.WireLength != got.WireLength || want.Vias != got.Vias ||
+		want.Corners != got.Corners || want.Failed != got.Failed ||
+		want.Expanded != got.Expanded {
+		t.Errorf("%s: aggregates diverge: wire %d/%d vias %d/%d corners %d/%d failed %d/%d expanded %d/%d",
+			label, want.WireLength, got.WireLength, want.Vias, got.Vias,
+			want.Corners, got.Corners, want.Failed, got.Failed, want.Expanded, got.Expanded)
+	}
+}
+
+// stripParallel drops the EvParallel batch summaries, the one event
+// family the serial run does not emit.
+func stripParallel(events []obs.Event) []obs.Event {
+	var out []obs.Event
+	for _, e := range events {
+		if e.Type == obs.EvParallel {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func assertEventsEqual(t *testing.T, label string, want, got []obs.Event) {
+	t.Helper()
+	want, got = stripParallel(want), stripParallel(got)
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d events vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: event %d diverges:\n  serial:   %+v\n  parallel: %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// obstaclesInstance mirrors examples/obstacles — the metal3-only power
+// rail and the both-layer sensitive block — padded with nine more nets
+// spread over the free regions so a Workers=4 run needs three batches.
+func obstaclesInstance(t *testing.T) (*grid.Grid, *netlist.Netlist) {
+	t.Helper()
+	g := newGrid(t, 30, 20, 10)
+	g.BlockRect(geom.R(0, 90, 290, 100), grid.MaskH)
+	g.BlockRect(geom.R(100, 120, 180, 170), grid.MaskBoth)
+	nl := netlist.New()
+	nl.AddPoints("thru", netlist.Signal, geom.Pt(40, 20), geom.Pt(40, 180))
+	nl.AddPoints("shift", netlist.Signal, geom.Pt(10, 80), geom.Pt(280, 80))
+	nl.AddPoints("around", netlist.Signal, geom.Pt(110, 190), geom.Pt(170, 110))
+	nl.AddPoints("e1", netlist.Signal, geom.Pt(0, 0), geom.Pt(120, 40))
+	nl.AddPoints("e2", netlist.Signal, geom.Pt(200, 10), geom.Pt(280, 60))
+	nl.AddPoints("e3", netlist.Signal, geom.Pt(10, 110), geom.Pt(80, 180))
+	nl.AddPoints("e4", netlist.Signal, geom.Pt(210, 120), geom.Pt(280, 190))
+	nl.AddPoints("e5", netlist.Signal, geom.Pt(30, 30), geom.Pt(70, 70))
+	nl.AddPoints("e6", netlist.Signal, geom.Pt(150, 30), geom.Pt(250, 110))
+	nl.AddPoints("e7", netlist.Signal, geom.Pt(60, 130), geom.Pt(60, 180))
+	nl.AddPoints("e8", netlist.Signal, geom.Pt(190, 130), geom.Pt(270, 150))
+	nl.AddPoints("e9", netlist.Signal, geom.Pt(110, 30), geom.Pt(170, 80))
+	return g, nl
+}
+
+// denseInstance packs LCG-placed two-terminal nets onto a 48x48 grid
+// tightly enough that batch commits regularly invalidate speculations,
+// exercising the conflict/re-run path.
+func denseInstance(t *testing.T) (*grid.Grid, *netlist.Netlist) {
+	t.Helper()
+	g := newGrid(t, 48, 48, 10)
+	nl := netlist.New()
+	seed := uint64(7)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	used := map[geom.Point]bool{}
+	pick := func() geom.Point {
+		for {
+			p := geom.Pt(next(48)*10, next(48)*10)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			return p
+		}
+	}
+	for i := 0; i < 36; i++ {
+		nl.AddPoints(fmt.Sprintf("d%d", i), netlist.Signal, pick(), pick())
+	}
+	return g, nl
+}
+
+// routeTraced routes a freshly built instance with the given worker
+// count, capturing the full event stream.
+func routeTraced(t *testing.T, build func(*testing.T) (*grid.Grid, *netlist.Netlist),
+	workers int, mut func(*Config)) (*Result, []obs.Event) {
+	t.Helper()
+	g, nl := build(t)
+	rec := &recorder{live: true}
+	cfg := DefaultConfig()
+	cfg.Tracer = rec
+	cfg.Workers = workers
+	if mut != nil {
+		mut(&cfg)
+	}
+	res, err := New(g, cfg).Route(nl.Nets())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res, rec.events
+}
+
+func TestWorkerCountEquivalenceObstacles(t *testing.T) {
+	serial, serialEv := routeTraced(t, obstaclesInstance, 1, nil)
+	if serial.Failed != 0 {
+		t.Fatalf("obstacles scenario failed %d nets serially — scenario broken", serial.Failed)
+	}
+	for _, w := range []int{2, 4, 7, 16} {
+		par, parEv := routeTraced(t, obstaclesInstance, w, nil)
+		assertResultsEqual(t, fmt.Sprintf("workers=%d", w), serial, par)
+		assertEventsEqual(t, fmt.Sprintf("workers=%d", w), serialEv, parEv)
+	}
+}
+
+func TestWorkerCountEquivalenceDense(t *testing.T) {
+	serial, serialEv := routeTraced(t, denseInstance, 1, nil)
+	par, parEv := routeTraced(t, denseInstance, 4, nil)
+	assertResultsEqual(t, "workers=4", serial, par)
+	assertEventsEqual(t, "workers=4", serialEv, parEv)
+	// The scenario must actually exercise both commit outcomes, or the
+	// equivalence above proves less than it claims.
+	speculated, conflicts := 0, 0
+	for _, e := range parEv {
+		if e.Type == obs.EvParallel {
+			speculated += e.Speculated
+			conflicts += e.Conflicts
+		}
+	}
+	if speculated == 0 {
+		t.Fatal("parallel run launched no speculations")
+	}
+	if conflicts == 0 {
+		t.Fatal("dense scenario produced no batch conflicts — the re-run path went untested")
+	}
+	if conflicts >= speculated {
+		t.Fatalf("every speculation conflicted (%d/%d) — the commit path went untested", conflicts, speculated)
+	}
+}
+
+// TestWorkerCountEquivalenceRipup runs the rip-up conflict scenario in
+// parallel mode: the first pass speculates, recovery (always serial)
+// must then make the identical rip-up decisions.
+func TestWorkerCountEquivalenceRipup(t *testing.T) {
+	build := func(t *testing.T) (*grid.Grid, *netlist.Netlist) {
+		return ripupConflictInstance(t, 20)
+	}
+	mut := func(cfg *Config) {
+		cfg.Weights = LengthOnlyWeights()
+		cfg.Order = InputOrder
+	}
+	serial, serialEv := routeTraced(t, build, 1, mut)
+	if serial.Failed != 0 {
+		t.Fatalf("rip-up scenario failed %d nets serially", serial.Failed)
+	}
+	par, parEv := routeTraced(t, build, 4, mut)
+	assertResultsEqual(t, "ripup workers=4", serial, par)
+	assertEventsEqual(t, "ripup workers=4", serialEv, parEv)
+}
+
+// ripupConflictInstance is the ripupScenario geometry (columns 3 and 5
+// usable, net A takes B's only column) on a grid widened to nx
+// columns, with a far-away net C outside any rip-up window.
+func ripupConflictInstance(t *testing.T, nx int) (*grid.Grid, *netlist.Netlist) {
+	t.Helper()
+	g := newGrid(t, nx, 7, 10)
+	for _, col := range []int{1, 2, 4} {
+		g.BlockV(col, geom.Iv(0, 6))
+	}
+	g.BlockV(0, geom.Iv(0, 0))
+	g.BlockV(0, geom.Iv(2, 6))
+	g.BlockV(6, geom.Iv(0, 4))
+	g.BlockV(6, geom.Iv(6, 6))
+	g.BlockH(0, geom.Iv(4, 6))
+	g.BlockH(6, geom.Iv(4, 6))
+	g.BlockH(6, geom.Iv(0, 2))
+	nl := netlist.New()
+	nl.AddPoints("A", netlist.Signal, geom.Pt(0, 10), geom.Pt(60, 50))
+	nl.AddPoints("B", netlist.Signal, geom.Pt(30, 0), geom.Pt(30, 60))
+	nl.AddPoints("C", netlist.Signal, geom.Pt(160, 0), geom.Pt(160, 60))
+	return g, nl
+}
+
+// TestRipupPreservesRanks is the regression test for the rank-zero
+// retry bug: every EvNetStart of a rip-up re-route must carry the
+// net's original 1-based rank, and a net must never change rank across
+// its attempts.
+func TestRipupPreservesRanks(t *testing.T) {
+	g, nl := ripupConflictInstance(t, 20)
+	rec := &recorder{live: true}
+	cfg := DefaultConfig()
+	cfg.Weights = LengthOnlyWeights()
+	cfg.Order = InputOrder
+	cfg.Tracer = rec
+	res, err := New(g, cfg).Route(nl.Nets())
+	if err != nil || res.Failed != 0 {
+		t.Fatalf("route: %v / %d failed", err, res.Failed)
+	}
+	wantRank := map[string]int{"A": 1, "B": 2, "C": 3}
+	starts := map[string][]int{}
+	for _, e := range rec.events {
+		if e.Type != obs.EvNetStart {
+			continue
+		}
+		if e.Rank < 1 {
+			t.Errorf("net %q emitted net_start with rank %d; ranks are 1-based even on retries", e.Net, e.Rank)
+		}
+		starts[e.Net] = append(starts[e.Net], e.Rank)
+	}
+	retried := 0
+	for name, ranks := range starts {
+		if len(ranks) > 1 {
+			retried++
+		}
+		for _, rk := range ranks {
+			if rk != wantRank[name] {
+				t.Errorf("net %q attempt ranked %d, want original rank %d", name, rk, wantRank[name])
+			}
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no net was re-routed — the scenario no longer exercises rip-up")
+	}
+}
+
+// TestBudgetTripDuringRecovery pins the mid-recovery budget-trip
+// contract: a total-expansion budget that gives out between rip-up
+// attempts surfaces the sticky error, and nets outside the recovery
+// windows keep the routes the first pass gave them — under both
+// serial and parallel first passes, identically.
+func TestBudgetTripDuringRecovery(t *testing.T) {
+	route := func(workers int, ripupPasses int, total int64) (*Result, error) {
+		g, nl := ripupConflictInstance(t, 20)
+		cfg := DefaultConfig()
+		cfg.Weights = LengthOnlyWeights()
+		cfg.Order = InputOrder
+		cfg.Workers = workers
+		cfg.RipupPasses = ripupPasses
+		if total > 0 {
+			cfg.Budget = robust.NewBudget(context.Background(), robust.Limits{TotalExpansions: total})
+		}
+		return New(g, cfg).Route(nl.Nets())
+	}
+
+	firstPass, err := route(1, -1, 0) // recovery disabled: first-pass work only
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := route(1, 0, 0) // default passes, unbounded
+	if err != nil || full.Failed != 0 {
+		t.Fatalf("unbounded run: %v / %d failed", err, full.Failed)
+	}
+	e1, e2 := int64(firstPass.Expanded), int64(full.Expanded)
+	if e2 < e1+2 {
+		t.Fatalf("recovery only cost %d expansions beyond the first pass (%d -> %d); cannot trip mid-recovery", e2-e1, e1, e2)
+	}
+	mid := e1 + (e2-e1)/2 // trips after the first pass, before recovery finishes
+
+	var cSegments []Segment
+	for _, nr := range firstPass.Routes {
+		if nr.Net.Name == "C" {
+			cSegments = nr.Segments
+		}
+	}
+	if len(cSegments) == 0 {
+		t.Fatal("net C did not route in the first pass — scenario broken")
+	}
+
+	var results []*Result
+	for _, w := range []int{1, 4} {
+		res, err := route(w, 0, mid)
+		if !errors.Is(err, robust.ErrBudgetExhausted) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudgetExhausted", w, err)
+		}
+		if res == nil {
+			t.Fatalf("workers=%d: sticky trip must still return the partial result", w)
+		}
+		for _, nr := range res.Routes {
+			if nr.Net.Name != "C" {
+				continue
+			}
+			if nr.Err != nil {
+				t.Fatalf("workers=%d: untouched net C lost its route: %v", w, nr.Err)
+			}
+			if !reflect.DeepEqual(nr.Segments, cSegments) {
+				t.Fatalf("workers=%d: untouched net C's geometry changed: %v vs %v", w, nr.Segments, cSegments)
+			}
+		}
+		results = append(results, res)
+	}
+	assertResultsEqual(t, "budget-trip workers=1 vs 4", results[0], results[1])
+}

@@ -61,9 +61,11 @@ type Result struct {
 	Expanded int
 }
 
-// Router routes level B nets serially on a shared grid. The grid may
-// already contain obstacles (from grid.BlockRect) and previously
-// committed routing; a Router does not take ownership of it.
+// Router routes level B nets on a shared grid. The grid may already
+// contain obstacles (from grid.BlockRect) and previously committed
+// routing; a Router does not take ownership of it. With Config.Workers
+// above one the first pass speculates batches of nets concurrently
+// (see parallel.go); results are identical to the serial run.
 type Router struct {
 	g   *grid.Grid
 	cfg Config
@@ -73,6 +75,32 @@ type Router struct {
 // New returns a router over g.
 func New(g *grid.Grid, cfg Config) *Router {
 	return &Router{g: g, cfg: cfg, tr: cfg.tracer()}
+}
+
+// routeEnv is the execution surface one routing attempt runs against.
+// The serial pass routes on the live grid with the real tracer and the
+// run budget; a parallel speculation swaps in a private grid snapshot,
+// a buffering event recorder, a speculative budget fork and its own
+// cost evaluator, so routeNet and everything below it is oblivious to
+// which mode it runs in. Config knobs are still read from the Router —
+// they are immutable for the duration of a run.
+type routeEnv struct {
+	g      *grid.Grid
+	tr     obs.Tracer
+	budget *robust.Budget
+	eval   *costEvaluator
+	// read, when non-nil, accumulates the dilated grid windows the
+	// attempt's searches and cost evaluations observe; the parallel
+	// committer tests them against earlier commits to decide whether
+	// the speculation is still valid (see parallel.go).
+	read *readWindow
+}
+
+// noteRead records one search window when read tracking is on.
+func (e *routeEnv) noteRead(cols, rows geom.Interval) {
+	if e.read != nil {
+		e.read.add(cols, rows)
+	}
 }
 
 // Route routes the given nets and commits their metal to the grid.
@@ -98,37 +126,27 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 			r.g.MarkTerminal(p.Col, p.Row)
 		}
 	}
-	eval := newCostEvaluator(r.g, r.cfg.Weights)
+	env := &routeEnv{
+		g: r.g, tr: r.tr, budget: r.cfg.Budget,
+		eval: newCostEvaluator(r.g, r.cfg.Weights),
+	}
 	res := &Result{}
 	ordered := orderNets(nets, r.cfg.Order)
+	ranks := make(map[netlist.NetID]int, len(ordered))
+	for i, net := range ordered {
+		ranks[net.ID] = i + 1
+	}
 	routes := make(map[netlist.NetID]*NetRoute, len(nets))
 	shapes := make(map[netlist.NetID]*shape, len(nets))
 	var sticky error
-	for rank, net := range ordered {
-		if sticky == nil {
-			if sticky = r.cfg.Budget.Err(); sticky != nil && r.tr.Enabled() {
-				r.tr.Emit(obs.Event{
-					Type: obs.EvBudget, Phase: "level-b",
-					Expanded: int(r.cfg.Budget.Used()), Failed: true,
-				})
-			}
-		}
-		if sticky != nil {
-			// The run is over; the remaining nets were never attempted
-			// and inherit the run-terminating cause.
-			routes[net.ID] = &NetRoute{
-				Net: net, Terminals: termPts[net.ID],
-				Err: robust.Wrap("level-b", net.Name, sticky),
-			}
-			continue
-		}
-		nr, sh := r.routeNet(net, termPts[net.ID], eval, res, rank+1)
-		routes[net.ID] = nr
-		shapes[net.ID] = sh
+	if w := r.cfg.workers(); w > 1 && len(ordered) > 1 {
+		sticky = r.routeAllSpeculative(env, ordered, termPts, routes, shapes, res, w)
+	} else {
+		sticky = r.routeAllSerial(env, ordered, termPts, routes, shapes, res)
 	}
 	if sticky == nil {
-		r.recover(ordered, termPts, routes, shapes, eval, res)
-		sticky = r.cfg.Budget.Err() // a trip during recovery still surfaces
+		r.recover(env, ordered, termPts, ranks, routes, shapes, res)
+		sticky = env.budget.Err() // a trip during recovery still surfaces
 	}
 	for _, net := range ordered {
 		nr := routes[net.ID]
@@ -146,15 +164,63 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	return res, nil
 }
 
+// routeAllSerial is the first pass in its original form: one net at a
+// time in routing order on the live grid.
+func (r *Router) routeAllSerial(env *routeEnv, ordered []*netlist.Net,
+	termPts map[netlist.NetID][]tig.Point,
+	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
+	res *Result) error {
+	var sticky error
+	for rank, net := range ordered {
+		if sticky = r.pollSticky(env, sticky); sticky != nil {
+			routes[net.ID] = skippedRoute(net, termPts[net.ID], sticky)
+			continue
+		}
+		nr, sh := r.routeNet(env, net, termPts[net.ID], res, rank+1)
+		routes[net.ID] = nr
+		shapes[net.ID] = sh
+	}
+	return sticky
+}
+
+// pollSticky folds the budget's run-level state into sticky, emitting
+// the run-level EvBudget event once on the first trip. Both the serial
+// loop and the parallel committer call it before every net so sticky
+// semantics are identical across modes.
+func (r *Router) pollSticky(env *routeEnv, sticky error) error {
+	if sticky != nil {
+		return sticky
+	}
+	if sticky = env.budget.Err(); sticky != nil && env.tr.Enabled() {
+		env.tr.Emit(obs.Event{
+			Type: obs.EvBudget, Phase: "level-b",
+			Expanded: int(env.budget.Used()), Failed: true,
+		})
+	}
+	return sticky
+}
+
+// skippedRoute marks a net that was never attempted because a sticky
+// budget condition ended the run first.
+func skippedRoute(net *netlist.Net, terms []tig.Point, cause error) *NetRoute {
+	return &NetRoute{
+		Net: net, Terminals: terms,
+		Err: robust.Wrap("level-b", net.Name, cause),
+	}
+}
+
 // recover runs bounded rip-up-and-reroute passes: every net that could
 // not complete lifts a set of committed nets out of its congestion
 // window, takes the freed space first, and the lifted nets re-route
-// after it. Passes repeat while they make progress.
-func (r *Router) recover(ordered []*netlist.Net, termPts map[netlist.NetID][]tig.Point,
+// after it. Passes repeat while they make progress. Recovery is always
+// serial — rip-up retries mutate the live grid — regardless of
+// Config.Workers, which only parallelises the first pass.
+func (r *Router) recover(env *routeEnv, ordered []*netlist.Net,
+	termPts map[netlist.NetID][]tig.Point, ranks map[netlist.NetID]int,
 	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
-	eval *costEvaluator, res *Result) {
+	res *Result) {
 	for pass := 0; pass < r.cfg.ripupPasses(); pass++ {
-		if r.cfg.Budget.Err() != nil {
+		if env.budget.Err() != nil {
 			return
 		}
 		progress := false
@@ -163,22 +229,22 @@ func (r *Router) recover(ordered []*netlist.Net, termPts map[netlist.NetID][]tig
 			if routes[net.ID].Err == nil {
 				continue
 			}
-			if r.cfg.Budget.Err() != nil {
+			if env.budget.Err() != nil {
 				return
 			}
 			attempts++
-			if r.retryWithRipup(net, ordered, termPts, routes, shapes, eval, res) {
+			if r.retryWithRipup(env, net, ordered, termPts, ranks, routes, shapes, res) {
 				progress = true
 			}
 		}
-		if r.tr.Enabled() {
+		if env.tr.Enabled() {
 			failed := 0
 			for _, net := range ordered {
 				if routes[net.ID].Err != nil {
 					failed++
 				}
 			}
-			r.tr.Emit(obs.Event{Type: obs.EvRipupPass, Step: pass, Victims: attempts, Paths: failed})
+			env.tr.Emit(obs.Event{Type: obs.EvRipupPass, Step: pass, Victims: attempts, Paths: failed})
 		}
 		if !progress {
 			return
@@ -188,10 +254,10 @@ func (r *Router) recover(ordered []*netlist.Net, termPts map[netlist.NetID][]tig
 
 // retryWithRipup attempts to complete one failed net by freeing its
 // congestion window. It reports whether the net now routes.
-func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
-	termPts map[netlist.NetID][]tig.Point,
+func (r *Router) retryWithRipup(env *routeEnv, net *netlist.Net, ordered []*netlist.Net,
+	termPts map[netlist.NetID][]tig.Point, ranks map[netlist.NetID]int,
 	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
-	eval *costEvaluator, res *Result) bool {
+	res *Result) bool {
 	terms := termPts[net.ID]
 	if len(terms) == 0 {
 		return false
@@ -203,8 +269,8 @@ func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
 		cols = geom.Iv(geom.Min(cols.Lo, p.Col), geom.Max(cols.Hi, p.Col))
 		rows = geom.Iv(geom.Min(rows.Lo, p.Row), geom.Max(rows.Hi, p.Row))
 	}
-	cols = geom.Iv(cols.Lo-margin, cols.Hi+margin).Intersect(geom.Iv(0, r.g.NX()-1))
-	rows = geom.Iv(rows.Lo-margin, rows.Hi+margin).Intersect(geom.Iv(0, r.g.NY()-1))
+	cols = geom.Iv(cols.Lo-margin, cols.Hi+margin).Intersect(geom.Iv(0, env.g.NX()-1))
+	rows = geom.Iv(rows.Lo-margin, rows.Hi+margin).Intersect(geom.Iv(0, env.g.NY()-1))
 
 	// Victims: committed nets with metal inside the window. Nets merely
 	// passing through (no terminal inside) are preferred — they can
@@ -244,17 +310,19 @@ func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
 		}
 		return victims[i].net.ID < victims[j].net.ID
 	})
-	if cap := r.cfg.ripupVictims(); len(victims) > cap {
-		victims = victims[:cap]
+	if maxVictims := r.cfg.ripupVictims(); len(victims) > maxVictims {
+		victims = victims[:maxVictims]
 	}
 
-	r.liftNet(net.ID, termPts, shapes)
+	r.liftNet(env, net.ID, termPts, shapes)
 	for _, v := range victims {
-		r.liftNet(v.net.ID, termPts, shapes)
+		r.liftNet(env, v.net.ID, termPts, shapes)
 	}
 	// The stuck net routes first into the freed window, then the
-	// victims re-route in their original serial order.
-	nr, sh := r.routeNet(net, terms, eval, res, 0)
+	// victims re-route in their original serial order. Every retry
+	// keeps the net's original 1-based rank so trace events stay
+	// attributable to the net's position in the routing order.
+	nr, sh := r.routeNet(env, net, terms, res, ranks[net.ID])
 	routes[net.ID], shapes[net.ID] = nr, sh
 	lifted := make(map[netlist.NetID]bool, len(victims))
 	for _, v := range victims {
@@ -264,26 +332,26 @@ func (r *Router) retryWithRipup(net *netlist.Net, ordered []*netlist.Net,
 		if !lifted[cand.ID] {
 			continue
 		}
-		vnr, vsh := r.routeNet(cand, termPts[cand.ID], eval, res, 0)
+		vnr, vsh := r.routeNet(env, cand, termPts[cand.ID], res, ranks[cand.ID])
 		routes[cand.ID], shapes[cand.ID] = vnr, vsh
 	}
 	ok := routes[net.ID].Err == nil
-	if r.tr.Enabled() {
-		r.tr.Emit(obs.Event{Type: obs.EvRipup, Net: net.Name, Victims: len(victims), Failed: !ok})
+	if env.tr.Enabled() {
+		env.tr.Emit(obs.Event{Type: obs.EvRipup, Net: net.Name, Victims: len(victims), Failed: !ok})
 	}
 	return ok
 }
 
 // liftNet removes a net's committed metal from the grid (its terminal
 // stacks stay blocked: terminal positions are fixed geometry).
-func (r *Router) liftNet(id netlist.NetID, termPts map[netlist.NetID][]tig.Point, shapes map[netlist.NetID]*shape) {
+func (r *Router) liftNet(env *routeEnv, id netlist.NetID, termPts map[netlist.NetID][]tig.Point, shapes map[netlist.NetID]*shape) {
 	if sh := shapes[id]; sh != nil {
-		sh.lift(r.g)
+		sh.lift(env.g)
 	}
 	// Lifting spans can erase the blockage of coincident terminal
 	// points (interval sets hold no reference counts); restore it.
 	for _, p := range termPts[id] {
-		r.g.BlockPoint(p.Col, p.Row)
+		env.g.BlockPoint(p.Col, p.Row)
 	}
 }
 
@@ -328,34 +396,35 @@ func (r *Router) snapTerminals(nets []*netlist.Net) (map[netlist.NetID][]tig.Poi
 // routeNet realises one net: its terminals are lifted out of the
 // blockage, its two-terminal connections are routed one by one (Prim
 // order for multi-terminal nets), and the accumulated shape is
-// committed back to the grid. rank is the 1-based serial routing
-// position, or 0 for rip-up retries.
-func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluator, res *Result, rank int) (*NetRoute, *shape) {
+// committed back to env's grid. rank is the net's 1-based serial
+// routing position; rip-up retries pass the original rank again so
+// per-net attribution survives recovery.
+func (r *Router) routeNet(env *routeEnv, net *netlist.Net, terms []tig.Point, res *Result, rank int) (*NetRoute, *shape) {
 	nr := &NetRoute{Net: net, Terminals: terms}
-	r.cfg.Budget.BeginNet()
-	if r.tr.Enabled() {
-		r.tr.Emit(obs.Event{Type: obs.EvNetStart, Net: net.Name, Rank: rank, Terminals: len(terms)})
+	env.budget.BeginNet()
+	if env.tr.Enabled() {
+		env.tr.Emit(obs.Event{Type: obs.EvNetStart, Net: net.Name, Rank: rank, Terminals: len(terms)})
 	}
 	// The net's own terminal stacks must be transparent to its own
 	// search.
 	for _, p := range terms {
-		r.g.ClearTerminal(p.Col, p.Row)
+		env.g.ClearTerminal(p.Col, p.Row)
 	}
 	sh := newShape()
-	eval.own = sh
+	env.eval.own = sh
 	defer func() {
-		eval.own = nil
-		sh.commit(r.g)
+		env.eval.own = nil
+		sh.commit(env.g)
 		// Terminal stacks block both layers for everyone else even
 		// when the terminal lies mid-segment of its own net.
 		for _, p := range terms {
-			r.g.BlockPoint(p.Col, p.Row)
+			env.g.BlockPoint(p.Col, p.Row)
 		}
 		nr.Segments = sh.segments()
 		nr.Vias = sh.viaPoints()
-		nr.WireLength = sh.wireLength(r.g)
-		if r.tr.Enabled() {
-			r.tr.Emit(obs.Event{
+		nr.WireLength = sh.wireLength(env.g)
+		if env.tr.Enabled() {
+			env.tr.Emit(obs.Event{
 				Type: obs.EvNetDone, Net: net.Name, Wire: nr.WireLength,
 				Vias: len(nr.Vias), Corners: nr.Corners, Expanded: nr.Expanded,
 				Escalated: nr.Escalations, Failed: nr.Err != nil,
@@ -373,7 +442,7 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 	termTest := func(p tig.Point) bool { return isTerm[p] }
 
 	if r.cfg.PlainMST {
-		r.routeMST(nr, terms, sh, eval, termTest, res)
+		r.routeMST(env, nr, terms, sh, termTest, res)
 		return nr, sh
 	}
 
@@ -404,9 +473,9 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 		if sh.containsPoint(p) {
 			continue // tree already passes through this terminal
 		}
-		path, err := r.connect(nr, p, bestTarget, eval, res)
+		path, err := r.connect(env, nr, p, bestTarget, res)
 		if err != nil {
-			nr.Err = r.failNet(net.Name, err, nr)
+			nr.Err = r.failNet(env, net.Name, err, nr)
 			return nr, sh
 		}
 		sh.addPath(path, termTest)
@@ -419,12 +488,12 @@ func (r *Router) routeNet(net *netlist.Net, terms []tig.Point, eval *costEvaluat
 // cause is a budget trip or cancellation, emits one EvBudget event so
 // traces show where the work ran out. Failed marks sticky trips that
 // end the whole run (the run-level poll in Route is what acts on them).
-func (r *Router) failNet(name string, err error, nr *NetRoute) error {
-	if r.tr.Enabled() &&
+func (r *Router) failNet(env *routeEnv, name string, err error, nr *NetRoute) error {
+	if env.tr.Enabled() &&
 		(errors.Is(err, robust.ErrBudgetExhausted) || errors.Is(err, robust.ErrCanceled)) {
-		r.tr.Emit(obs.Event{
+		env.tr.Emit(obs.Event{
 			Type: obs.EvBudget, Net: name, Phase: "level-b",
-			Expanded: nr.Expanded, Failed: r.cfg.Budget.Err() != nil,
+			Expanded: nr.Expanded, Failed: env.budget.Err() != nil,
 		})
 	}
 	return robust.Wrap("level-b", name, err)
@@ -432,7 +501,7 @@ func (r *Router) failNet(name string, err error, nr *NetRoute) error {
 
 // routeMST is the ablation decomposition: a plain minimum spanning
 // tree over the terminal points only, each edge routed independently.
-func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *costEvaluator, termTest func(tig.Point) bool, res *Result) {
+func (r *Router) routeMST(env *routeEnv, nr *NetRoute, terms []tig.Point, sh *shape, termTest func(tig.Point) bool, res *Result) {
 	inTree := make([]bool, len(terms))
 	inTree[0] = true
 	for n := 1; n < len(terms); n++ {
@@ -451,9 +520,9 @@ func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *cost
 				}
 			}
 		}
-		path, err := r.connect(nr, terms[bestJ], terms[bestI], eval, res)
+		path, err := r.connect(env, nr, terms[bestJ], terms[bestI], res)
 		if err != nil {
-			nr.Err = r.failNet(nr.Net.Name, err, nr)
+			nr.Err = r.failNet(env, nr.Net.Name, err, nr)
 			return
 		}
 		sh.addPath(path, termTest)
@@ -471,7 +540,7 @@ func (r *Router) routeMST(nr *NetRoute, terms []tig.Point, sh *shape, eval *cost
 // only when "the solution space for level B routing guarantees 100%
 // routing completion"; the relaxed retry recovers the connections the
 // fast strict search misses in dense pin pockets.
-func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, res *Result) (tig.Path, error) {
+func (r *Router) connect(env *routeEnv, nr *NetRoute, from, to tig.Point, res *Result) (tig.Path, error) {
 	if from == to {
 		return tig.Path{Points: []tig.Point{from}}, nil
 	}
@@ -479,11 +548,12 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 	colHi := geom.Max(from.Col, to.Col)
 	rowLo := geom.Min(from.Row, to.Row)
 	rowHi := geom.Max(from.Row, to.Row)
-	fullCols := geom.Iv(0, r.g.NX()-1)
-	fullRows := geom.Iv(0, r.g.NY()-1)
+	fullCols := geom.Iv(0, env.g.NX()-1)
+	fullRows := geom.Iv(0, env.g.NY()-1)
 
 	attempt := func(cfg tig.Config) (tig.Path, bool, error) {
-		sr, ok := tig.Search(r.g, from, to, cfg)
+		env.noteRead(cfg.ColBounds, cfg.RowBounds)
+		sr, ok := tig.Search(env.g, from, to, cfg)
 		if sr != nil {
 			res.Expanded += sr.Expanded
 			nr.Expanded += sr.Expanded
@@ -497,9 +567,9 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 			}
 			return tig.Path{}, false, nil
 		}
-		best, _, pruned := eval.selectBest(sr.Paths)
-		if r.tr.Enabled() {
-			r.tr.Emit(obs.Event{
+		best, _, pruned := env.eval.selectBest(sr.Paths)
+		if env.tr.Enabled() {
+			env.tr.Emit(obs.Event{
 				Type: obs.EvSelect, Net: nr.Net.Name, Paths: len(sr.Paths),
 				Pruned: pruned, Corners: best.Corners(),
 			})
@@ -510,16 +580,16 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 	for step, m := range r.cfg.expansions() {
 		if step > 0 {
 			nr.Escalations++
-			if r.tr.Enabled() {
-				r.tr.Emit(obs.Event{Type: obs.EvEscalate, Net: nr.Net.Name, Step: step + 1, Margin: m})
+			if env.tr.Enabled() {
+				env.tr.Emit(obs.Event{Type: obs.EvEscalate, Net: nr.Net.Name, Step: step + 1, Margin: m})
 			}
 		}
 		cfg := tig.Config{
 			MaxCorners:   r.cfg.MaxCorners,
 			RelaxedVisit: r.cfg.RelaxedVisit,
 			MaxPaths:     r.cfg.MaxPaths,
-			Tracer:       r.cfg.Tracer,
-			Budget:       r.cfg.Budget,
+			Tracer:       env.tr,
+			Budget:       env.budget,
 		}
 		if m >= 0 {
 			cfg.ColBounds = geom.Iv(colLo-m, colHi+m).Intersect(fullCols)
@@ -538,8 +608,8 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 	}
 	if !r.cfg.RelaxedVisit {
 		nr.Escalations++
-		if r.tr.Enabled() {
-			r.tr.Emit(obs.Event{
+		if env.tr.Enabled() {
+			env.tr.Emit(obs.Event{
 				Type: obs.EvEscalate, Net: nr.Net.Name,
 				Step: len(r.cfg.expansions()) + 1, Margin: -1, Relaxed: true,
 			})
@@ -549,8 +619,8 @@ func (r *Router) connect(nr *NetRoute, from, to tig.Point, eval *costEvaluator, 
 			RelaxedVisit: true,
 			MaxCorners:   geom.Max(2*tig.DefaultMaxCorners, r.cfg.MaxCorners),
 			MaxPaths:     r.cfg.MaxPaths,
-			Tracer:       r.cfg.Tracer,
-			Budget:       r.cfg.Budget,
+			Tracer:       env.tr,
+			Budget:       env.budget,
 		}
 		p, ok, err := attempt(relaxed)
 		if err != nil {

@@ -82,6 +82,11 @@ type Options struct {
 	// trips (total cap, deadline, cancellation) still return an error —
 	// alongside the verified partial result.
 	AllowPartial bool
+	// Workers sets the level B router's speculative worker count
+	// (core.Config.Workers): 0 keeps the core default (GOMAXPROCS), 1
+	// forces serial routing. Routing results are identical for every
+	// value. Ignored when Core carries its own non-zero Workers.
+	Workers int
 }
 
 // newBudget builds the run's shared budget: Core.Budget when the
@@ -107,6 +112,9 @@ func (o Options) coreConfig(b *robust.Budget) core.Config {
 	}
 	if cfg.Budget == nil {
 		cfg.Budget = b
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = o.Workers
 	}
 	return cfg
 }

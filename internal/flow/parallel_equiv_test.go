@@ -1,0 +1,95 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+
+	"overcell/internal/gen"
+	"overcell/internal/obs"
+)
+
+// traceProposedWorkers runs the proposed flow on the macrocell
+// instance with the given worker count and returns the normalised
+// NDJSON trace: wall times stripped, EvParallel batch summaries (the
+// only events a serial run cannot emit) dropped.
+func traceProposedWorkers(t *testing.T, workers int) ([]byte, *Result) {
+	t.Helper()
+	inst, err := gen.Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	res, err := Proposed(inst, Options{Tracer: w, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	norm := durField.ReplaceAll(buf.Bytes(), nil)
+	var kept [][]byte
+	for _, line := range bytes.Split(norm, []byte("\n")) {
+		if bytes.Contains(line, []byte(`"ev":"parallel"`)) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return bytes.Join(kept, []byte("\n")), res
+}
+
+// TestWorkerCountEquivalence is the flow-level enforcement of the
+// parallel router's determinism invariant: on the macrocell example
+// instance, every worker count must reproduce the Workers=1 run
+// exactly — same level B metrics and a byte-identical event stream.
+func TestWorkerCountEquivalence(t *testing.T) {
+	serialTrace, serial := traceProposedWorkers(t, 1)
+	for _, w := range []int{2, 4} {
+		parTrace, par := traceProposedWorkers(t, w)
+		if serial.WireLength != par.WireLength || serial.Vias != par.Vias ||
+			serial.LevelB.Failed != par.LevelB.Failed ||
+			serial.LevelB.Expanded != par.LevelB.Expanded ||
+			serial.LevelB.Corners != par.LevelB.Corners {
+			t.Errorf("workers=%d: metrics diverge from serial: wire %d/%d vias %d/%d failed %d/%d expanded %d/%d corners %d/%d",
+				w, serial.WireLength, par.WireLength, serial.Vias, par.Vias,
+				serial.LevelB.Failed, par.LevelB.Failed, serial.LevelB.Expanded, par.LevelB.Expanded,
+				serial.LevelB.Corners, par.LevelB.Corners)
+		}
+		if !bytes.Equal(serialTrace, parTrace) {
+			a := bytes.Split(serialTrace, []byte("\n"))
+			b := bytes.Split(parTrace, []byte("\n"))
+			for i := range a {
+				other := []byte("<missing>")
+				if i < len(b) {
+					other = b[i]
+				}
+				if !bytes.Equal(a[i], other) {
+					t.Fatalf("workers=%d: traces diverge at line %d:\n  serial:   %s\n  parallel: %s",
+						w, i+1, a[i], other)
+				}
+			}
+			t.Fatalf("workers=%d: traces differ in length: %d vs %d lines", w, len(a), len(b))
+		}
+	}
+}
+
+// TestWorkerCountEquivalenceOptionsPlumbing confirms Options.Workers
+// actually reaches the core router: a parallel run on a multi-net
+// instance must emit at least one EvParallel batch summary.
+func TestWorkerCountEquivalenceOptionsPlumbing(t *testing.T) {
+	inst, err := gen.Ami33Like()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewWriter(&buf)
+	if _, err := Proposed(inst, Options{Tracer: w, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"ev":"parallel"`)) {
+		t.Fatal("Workers=4 run emitted no parallel batch events; Options.Workers is not reaching the router")
+	}
+	if w.Events() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+}

@@ -106,6 +106,32 @@ func New(xs, ys []int) (*Grid, error) {
 	return g, nil
 }
 
+// Clone returns an independent deep copy of the grid's occupancy
+// state: blockage, routed wire, and terminal overlays. The track
+// coordinate lists are shared — they are immutable after New — so a
+// clone costs one interval-slice copy per occupied track, and the
+// parallel router can snapshot a large, mostly-empty grid cheaply.
+// Mutating a clone never affects the original and vice versa.
+func (g *Grid) Clone() *Grid {
+	return &Grid{
+		xs:     g.xs,
+		ys:     g.ys,
+		blockH: cloneSets(g.blockH),
+		blockV: cloneSets(g.blockV),
+		wireH:  cloneSets(g.wireH),
+		wireV:  cloneSets(g.wireV),
+		terms:  cloneSets(g.terms),
+	}
+}
+
+func cloneSets(src []geom.IntervalSet) []geom.IntervalSet {
+	dst := make([]geom.IntervalSet, len(src))
+	for i := range src {
+		dst[i] = *src[i].Clone()
+	}
+	return dst
+}
+
 // Uniform builds an nx-by-ny grid with the given track pitch, with the
 // first tracks at the origin.
 func Uniform(nx, ny, pitch int) (*Grid, error) {

@@ -357,3 +357,40 @@ func TestIndexWindow(t *testing.T) {
 		t.Errorf("point window = %v,%v,%v", cols, rows, ok)
 	}
 }
+
+func TestCloneIsolation(t *testing.T) {
+	g := mustUniform(t, 10, 10, 10)
+	g.BlockH(2, geom.Iv(1, 4))
+	g.CommitVWire(5, geom.Iv(0, 7))
+	g.MarkTerminal(8, 8)
+
+	c := g.Clone()
+	// The clone sees the original's state...
+	if g.HFree(2, geom.Iv(1, 4)) || c.HFree(2, geom.Iv(1, 4)) {
+		t.Fatal("blockage missing before or after clone")
+	}
+	if c.VWireCountIn(geom.Iv(5, 5), geom.Iv(0, 7)) != g.VWireCountIn(geom.Iv(5, 5), geom.Iv(0, 7)) {
+		t.Fatal("clone wire overlay differs from original")
+	}
+	if c.TermCountIn(geom.Iv(8, 8), geom.Iv(8, 8)) != 1 {
+		t.Fatal("clone lost the terminal overlay")
+	}
+
+	// ...and mutations stay on their own side, both directions.
+	c.BlockV(7, geom.Iv(0, 9))
+	if !g.VFree(7, geom.Iv(0, 9)) {
+		t.Error("blocking a column on the clone leaked into the original")
+	}
+	g.BlockPoint(0, 0)
+	if !c.PointFree(0, 0) {
+		t.Error("blocking a point on the original leaked into the clone")
+	}
+	c.ClearTerminal(8, 8)
+	if g.TermCountIn(geom.Iv(8, 8), geom.Iv(8, 8)) != 1 {
+		t.Error("clearing a terminal on the clone leaked into the original")
+	}
+	g.LiftVWire(5, geom.Iv(0, 7))
+	if c.VWireCountIn(geom.Iv(5, 5), geom.Iv(0, 7)) == 0 {
+		t.Error("lifting wire on the original leaked into the clone")
+	}
+}

@@ -30,8 +30,9 @@ const (
 	EvPhaseStart EventType = "phase_start"
 	EvPhaseEnd   EventType = "phase_end"
 	// EvNetStart opens one routing attempt of a net: Rank is the
-	// 1-based position in the serial routing order (0 for rip-up
-	// retries), Terminals the snapped terminal count.
+	// 1-based position in the serial routing order (rip-up retries
+	// re-emit the net's original rank), Terminals the snapped terminal
+	// count.
 	EvNetStart EventType = "net_start"
 	// EvNetDone closes the attempt: wire length, via and corner counts,
 	// nodes expanded and window escalations consumed by the attempt,
@@ -71,6 +72,14 @@ const (
 	// cap, deadline, cancellation) from transient per-net exhaustion
 	// (false: the run continues with the next net degraded).
 	EvBudget EventType = "budget"
+	// EvParallel summarises one speculate/validate/commit batch of the
+	// parallel level-B first pass: Speculated is the number of
+	// speculative routing attempts launched, Conflicts how many of them
+	// the committer discarded and re-ran serially because an earlier
+	// commit in the batch touched their congestion window. The event
+	// carries no routing state — parallelism never changes routing
+	// results — so run-equivalence comparisons ignore it.
+	EvParallel EventType = "parallel"
 )
 
 // Event is one observation. It is a flat union: every event type uses
@@ -93,6 +102,9 @@ type Event struct {
 	Vias      int       `json:"vias,omitempty"`
 	Victims   int       `json:"victims,omitempty"`
 	Escalated int       `json:"escalated,omitempty"`
+	// Speculated and Conflicts are EvParallel's batch counters.
+	Speculated int `json:"speculated,omitempty"`
+	Conflicts  int `json:"conflicts,omitempty"`
 	Relaxed   bool      `json:"relaxed,omitempty"`
 	Failed    bool      `json:"failed,omitempty"`
 	DurNS     int64     `json:"dur_ns,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,20 +42,27 @@ func (l Limits) Zero() bool {
 // the measured overhead on the headline workloads under 2%.
 const pollStride = 1024
 
-// Budget meters one routing run against a context and Limits. It is
-// deliberately not goroutine-safe: the router is serial, and a single
-// uncontended counter is what keeps Charge cheap enough for the search
-// hot path. A nil *Budget is valid everywhere and means "unbounded";
-// callers thread budgets without nil checks.
+// Budget meters one routing run against a context and Limits. The
+// counters are atomic and the sticky error is set once by
+// compare-and-swap, so a single Budget tolerates concurrent chargers
+// (the parallel level-B driver, a server sharing one run budget across
+// helper goroutines) without a mutex on the hot path: each Charge is
+// one atomic add per reservation batch. Determinism of *which* charge
+// trips a cap is still only guaranteed for a single charger; the
+// parallel router keeps that guarantee by giving every speculative
+// worker its own Fork and reconciling totals at commit time.
+//
+// A nil *Budget is valid everywhere and means "unbounded"; callers
+// thread budgets without nil checks.
 type Budget struct {
 	ctx      context.Context
 	deadline time.Time // zero = none
 	netMax   int64
 	totalMax int64
-	net      int64 // expansions charged since BeginNet
-	total    int64 // expansions charged since NewBudget
-	poll     int64 // countdown to the next liveness poll
-	sticky   error // set once for run-terminating conditions
+	net      atomic.Int64 // expansions charged since BeginNet
+	total    atomic.Int64 // expansions charged since NewBudget
+	poll     atomic.Int64 // countdown to the next liveness poll
+	sticky   atomic.Pointer[error]
 }
 
 // NewBudget builds a budget over ctx and l. A nil ctx means
@@ -71,8 +79,8 @@ func NewBudget(ctx context.Context, l Limits) *Budget {
 		deadline: l.Deadline,
 		netMax:   l.NetExpansions,
 		totalMax: l.TotalExpansions,
-		poll:     pollStride,
 	}
+	b.poll.Store(pollStride)
 	if l.Timeout > 0 {
 		if d := time.Now().Add(l.Timeout); b.deadline.IsZero() || d.Before(b.deadline) {
 			b.deadline = d
@@ -84,13 +92,40 @@ func NewBudget(ctx context.Context, l Limits) *Budget {
 	return b
 }
 
+// Fork returns a speculative child budget for routing one net against
+// a snapshot: same context, deadline and per-net cap, fresh counters,
+// and a total allowance equal to the parent's remaining headroom at
+// fork time. Charges against the child never touch the parent; the
+// committer folds them back with Commit once the speculation is
+// validated, or discards them. A nil parent forks to nil (unbounded).
+func (b *Budget) Fork() *Budget {
+	if b == nil {
+		return nil
+	}
+	child := &Budget{ctx: b.ctx, deadline: b.deadline, netMax: b.netMax}
+	child.poll.Store(pollStride)
+	if b.totalMax > 0 {
+		rem := b.totalMax - b.total.Load()
+		if rem > 0 {
+			child.totalMax = rem
+		} else {
+			// Parent sits exactly at its cap: the child's first charge
+			// must trip (a remaining allowance of zero would read as
+			// unbounded).
+			child.totalMax = 1
+			child.total.Store(1)
+		}
+	}
+	return child
+}
+
 // BeginNet opens a new per-net accounting window: the per-net
 // expansion counter resets, the run-wide counters continue.
 func (b *Budget) BeginNet() {
 	if b == nil {
 		return
 	}
-	b.net = 0
+	b.net.Store(0)
 }
 
 // Charge spends n units of search work (one unit per search-tree node
@@ -102,26 +137,61 @@ func (b *Budget) Charge(n int) error {
 	if b == nil {
 		return nil
 	}
-	if b.sticky != nil {
-		return b.sticky
+	if p := b.sticky.Load(); p != nil {
+		return *p
 	}
-	b.net += int64(n)
-	b.total += int64(n)
-	if b.totalMax > 0 && b.total > b.totalMax {
-		b.sticky = fmt.Errorf("total budget of %d expansions exhausted: %w",
-			b.totalMax, ErrBudgetExhausted)
-		return b.sticky
+	nn := int64(n)
+	net := b.net.Add(nn)
+	total := b.total.Add(nn)
+	if b.totalMax > 0 && total > b.totalMax {
+		return b.trip(fmt.Errorf("total budget of %d expansions exhausted: %w",
+			b.totalMax, ErrBudgetExhausted))
 	}
-	if b.netMax > 0 && b.net > b.netMax {
+	if b.netMax > 0 && net > b.netMax {
 		return fmt.Errorf("per-net budget of %d expansions exhausted: %w",
 			b.netMax, ErrBudgetExhausted)
 	}
-	b.poll -= int64(n)
-	if b.poll <= 0 {
-		b.poll = pollStride
+	if b.poll.Add(-nn) <= 0 {
+		// A racy reset can double-poll under concurrent chargers; polls
+		// are idempotent, so an extra one is harmless.
+		b.poll.Store(pollStride)
 		return b.checkLive()
 	}
 	return nil
+}
+
+// CanCommit reports whether folding n more charged expansions into the
+// run total stays within the total cap — i.e. whether a serial run of
+// the same work from the current total would have completed without a
+// sticky total-cap trip. The parallel committer uses it to decide
+// between committing a speculation and re-running the net serially.
+func (b *Budget) CanCommit(n int64) bool {
+	if b == nil || b.totalMax <= 0 {
+		return true
+	}
+	return b.total.Load()+n <= b.totalMax
+}
+
+// Commit folds n expansions charged to a validated speculative Fork
+// into the run totals, as one atomic reservation batch. The per-net
+// counter is set to n (the committed net's own spend), mirroring what
+// BeginNet-plus-incremental charging would have left behind. Callers
+// must gate on CanCommit first; Commit itself never trips.
+func (b *Budget) Commit(n int64) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.total.Add(n)
+	b.net.Store(n)
+}
+
+// trip records a sticky run-terminating error exactly once; the first
+// caller wins and later trips observe the original cause.
+func (b *Budget) trip(err error) error {
+	if b.sticky.CompareAndSwap(nil, &err) {
+		return err
+	}
+	return *b.sticky.Load()
 }
 
 // Err reports the budget's sticky state, polling the context and the
@@ -131,8 +201,8 @@ func (b *Budget) Err() error {
 	if b == nil {
 		return nil
 	}
-	if b.sticky != nil {
-		return b.sticky
+	if p := b.sticky.Load(); p != nil {
+		return *p
 	}
 	return b.checkLive()
 }
@@ -146,16 +216,13 @@ func (b *Budget) checkLive() error {
 	case <-b.ctx.Done():
 		cause := b.ctx.Err()
 		if errors.Is(cause, context.DeadlineExceeded) {
-			b.sticky = fmt.Errorf("context deadline exceeded: %w", ErrBudgetExhausted)
-		} else {
-			b.sticky = fmt.Errorf("routing %w", ErrCanceled)
+			return b.trip(fmt.Errorf("context deadline exceeded: %w", ErrBudgetExhausted))
 		}
-		return b.sticky
+		return b.trip(fmt.Errorf("routing %w", ErrCanceled))
 	default:
 	}
 	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
-		b.sticky = fmt.Errorf("deadline budget exhausted: %w", ErrBudgetExhausted)
-		return b.sticky
+		return b.trip(fmt.Errorf("deadline budget exhausted: %w", ErrBudgetExhausted))
 	}
 	return nil
 }
@@ -165,7 +232,7 @@ func (b *Budget) Used() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.total
+	return b.total.Load()
 }
 
 // NetUsed returns the expansions charged since the last BeginNet.
@@ -173,5 +240,5 @@ func (b *Budget) NetUsed() int64 {
 	if b == nil {
 		return 0
 	}
-	return b.net
+	return b.net.Load()
 }

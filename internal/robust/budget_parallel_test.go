@@ -1,0 +1,137 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestBudgetConcurrentChargers hammers one budget from many goroutines
+// (run under -race in CI): accounting must stay exact until the trip,
+// the trip must be sticky, and every charger must observe the same
+// cause once tripped.
+func TestBudgetConcurrentChargers(t *testing.T) {
+	const (
+		chargers = 8
+		perG     = 5000
+		total    = 20000 // trips partway through the combined charge load
+	)
+	b := NewBudget(context.Background(), Limits{TotalExpansions: total})
+	errs := make([]error, chargers)
+	var wg sync.WaitGroup
+	for i := 0; i < chargers; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				if err := b.Charge(1); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	tripped := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		tripped++
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("charger error = %v, want ErrBudgetExhausted", err)
+		}
+	}
+	if tripped == 0 {
+		t.Fatalf("no charger tripped despite %d charges against a cap of %d", chargers*perG, total)
+	}
+	if err := b.Err(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Err() = %v, want sticky ErrBudgetExhausted", err)
+	}
+	// Every successful charge was counted; the crossing charges may
+	// overshoot by at most one unit per concurrent charger.
+	if used := b.Used(); used < total || used > total+chargers {
+		t.Fatalf("Used() = %d, want within [%d, %d]", used, total, total+chargers)
+	}
+}
+
+func TestBudgetForkIsolation(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{TotalExpansions: 100, NetExpansions: 60})
+	if err := b.Charge(30); err != nil {
+		t.Fatal(err)
+	}
+	f := b.Fork()
+	if err := f.Charge(50); err != nil {
+		t.Fatalf("child charge within remaining headroom: %v", err)
+	}
+	if got := b.Used(); got != 30 {
+		t.Fatalf("parent Used = %d after child charges, want 30", got)
+	}
+	if got := f.Used(); got != 50 {
+		t.Fatalf("child Used = %d, want 50", got)
+	}
+	// The child's total allowance is the parent's remaining headroom at
+	// fork time (70): pushing past it trips the child, not the parent.
+	if err := f.Charge(21); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("child over-allowance charge = %v, want ErrBudgetExhausted", err)
+	}
+	if b.Err() != nil {
+		t.Fatalf("child trip leaked into parent: %v", b.Err())
+	}
+	// Committing folds the child's spend into the parent atomically.
+	if !b.CanCommit(50) {
+		t.Fatal("CanCommit(50) = false with 70 remaining")
+	}
+	b.Commit(50)
+	if got := b.Used(); got != 80 {
+		t.Fatalf("parent Used after commit = %d, want 80", got)
+	}
+	if got := b.NetUsed(); got != 50 {
+		t.Fatalf("parent NetUsed after commit = %d, want 50", got)
+	}
+	if b.CanCommit(30) {
+		t.Fatal("CanCommit(30) = true would overshoot the total cap")
+	}
+}
+
+func TestBudgetForkAtExactCap(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{TotalExpansions: 10})
+	if err := b.Charge(10); err != nil {
+		t.Fatalf("charging exactly to the cap must not trip: %v", err)
+	}
+	f := b.Fork()
+	if err := f.Charge(1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("first charge on an at-cap fork = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetForkPerNetStaysTransient(t *testing.T) {
+	b := NewBudget(context.Background(), Limits{NetExpansions: 5})
+	f := b.Fork()
+	if err := f.Charge(6); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("per-net trip = %v, want ErrBudgetExhausted", err)
+	}
+	if f.Err() != nil {
+		t.Fatalf("per-net trip must not stick: %v", f.Err())
+	}
+	f.BeginNet()
+	if err := f.Charge(3); err != nil {
+		t.Fatalf("charge after BeginNet: %v", err)
+	}
+}
+
+func TestBudgetNilFork(t *testing.T) {
+	var b *Budget
+	f := b.Fork()
+	if f != nil {
+		t.Fatalf("nil budget forked to %v, want nil", f)
+	}
+	if err := f.Charge(1); err != nil {
+		t.Fatal(err)
+	}
+	if !b.CanCommit(1 << 40) {
+		t.Fatal("nil budget must accept any commit")
+	}
+	b.Commit(5) // must not panic
+}

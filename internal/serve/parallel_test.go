@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var specMetric = regexp.MustCompile(`(?m)^ocroute_parallel_speculations_total (\d+)$`)
+
+func scrapeSpeculations(t *testing.T, base string) int {
+	t.Helper()
+	code, body := getBody(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	m := specMetric.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metrics missing ocroute_parallel_speculations_total:\n%.300s", body)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestWorkersQueryOverride submits the same instance serially and with
+// a per-job ?workers= override: the override must actually engage the
+// speculative path (the speculation counter moves) and must not change
+// the routed result.
+func TestWorkersQueryOverride(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inst := testInstance(t)
+	code, serial, raw := postRun(t, ts.URL, "?flow=proposed&wait=1&workers=1", inst)
+	if code != 200 || serial.State != StateDone {
+		t.Fatalf("serial run = %d %s", code, raw)
+	}
+	if n := scrapeSpeculations(t, ts.URL); n != 0 {
+		t.Fatalf("speculations after workers=1 run = %d, want 0", n)
+	}
+
+	code, par, raw := postRun(t, ts.URL, "?flow=proposed&wait=1&workers=4", inst)
+	if code != 200 || par.State != StateDone {
+		t.Fatalf("parallel run = %d %s", code, raw)
+	}
+	if n := scrapeSpeculations(t, ts.URL); n == 0 {
+		t.Fatal("workers=4 job moved no speculation counters; ?workers= is not reaching the router")
+	}
+	_, body := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "ocroute_parallel_conflicts_total") {
+		t.Error("metrics missing ocroute_parallel_conflicts_total family")
+	}
+
+	if serial.Result == nil || par.Result == nil {
+		t.Fatal("missing results")
+	}
+	if serial.Result.WireLength != par.Result.WireLength || serial.Result.Vias != par.Result.Vias {
+		t.Fatalf("worker override changed the result: wire %d/%d vias %d/%d",
+			serial.Result.WireLength, par.Result.WireLength, serial.Result.Vias, par.Result.Vias)
+	}
+}
+
+// TestWorkersServerDefault sets the server-wide default worker count:
+// jobs that do not specify workers inherit it.
+func TestWorkersServerDefault(t *testing.T) {
+	s := New(Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, st, raw := postRun(t, ts.URL, "?flow=proposed&wait=1", testInstance(t))
+	if code != 200 || st.State != StateDone {
+		t.Fatalf("run = %d %s", code, raw)
+	}
+	if n := scrapeSpeculations(t, ts.URL); n == 0 {
+		t.Fatal("server-default Workers=4 moved no speculation counters")
+	}
+}
+
+// TestWorkersQueryRejectsGarbage: a malformed workers= value is a 400,
+// not a silently serial run.
+func TestWorkersQueryRejectsGarbage(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _, _ := postRun(t, ts.URL, "?flow=proposed&wait=1&workers=lots", testInstance(t)); code != 400 {
+		t.Errorf("workers=lots = %d, want 400", code)
+	}
+}

@@ -17,7 +17,7 @@
 // object {"flow": ..., "instance": {...}, ...}; the flow, budget and
 // wait knobs can also arrive as query parameters (?flow=proposed&
 // wait=1&deadline_ms=500&net_budget=N&total_budget=N&partial=1&
-// heat_win=8), which override the body. Each run executes the chosen
+// heat_win=8&workers=4), which override the body. Each run executes the chosen
 // flow under a robust.Budget bound to a context: asynchronous runs
 // are scoped to the server's lifetime, while ?wait=1 runs are scoped
 // to the HTTP request itself — client disconnect cancels the routing
@@ -77,6 +77,11 @@ type Config struct {
 	// BaseCtx scopes asynchronous runs; nil means context.Background().
 	// Cancelling it cancels every active run.
 	BaseCtx context.Context
+	// Workers is the default level B speculative worker count applied
+	// to runs that do not carry their own ?workers= override. 0 keeps
+	// the router default (GOMAXPROCS); 1 forces serial routing.
+	// Routing results are identical either way.
+	Workers int
 }
 
 type flowFn func(*gen.Instance, flow.Options) (*flow.Result, error)
@@ -208,6 +213,7 @@ type jobRequest struct {
 	TotalBudget int64           `json:"total_budget"`
 	Partial     bool            `json:"partial"`
 	HeatWin     int             `json:"heat_win"`
+	Workers     int             `json:"workers"`
 	Wait        bool            `json:"wait"`
 }
 
@@ -252,6 +258,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.HeatWin = n
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad workers: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.Workers = n
 	}
 	if v := q.Get("partial"); v != "" {
 		req.Partial = v == "1" || v == "true"
@@ -350,6 +364,10 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 			Timeout:         time.Duration(req.DeadlineMS) * time.Millisecond,
 		},
 		AllowPartial: req.Partial,
+		Workers:      req.Workers,
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.Workers
 	}
 	res, err := fn(inst, opts)
 	ru.builder.Finish()

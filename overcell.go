@@ -181,8 +181,8 @@ func RunChannelFree(inst *Instance, opt Options) (*FlowResult, error) {
 	return flow.ChannelFree(inst, opt)
 }
 
-// Reduction returns the percent reduction from base to new.
-func Reduction(base, new int64) float64 { return metrics.Reduction(base, new) }
+// Reduction returns the percent reduction from base to after.
+func Reduction(base, after int64) float64 { return metrics.Reduction(base, after) }
 
 // Rendering helpers.
 
