@@ -14,12 +14,16 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# lint runs the standard vet suite and then the repo's own analyzers
-# (maporder, checkedverify, pointkey, staticdrc) through the vettool
-# protocol, exactly as CI does.
+# lint runs the standard vet suite, then the repo's own analyzers
+# (maporder, checkedverify, pointkey, staticdrc, shadowbuiltin,
+# nondeterm, specwrite, hotalloc) twice: through the vettool protocol
+# (facts flow via .vetx files) and standalone over the internal and
+# cmd trees (facts flow via go list dependency order) — the standalone
+# pass is what CI's lint job runs with -github annotations.
 lint: $(OCLINT)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(OCLINT) ./...
+	$(OCLINT) ./internal/... ./cmd/...
 
 $(OCLINT): FORCE
 	$(GO) build -o $(OCLINT) ./cmd/oclint

@@ -1,12 +1,20 @@
 // Command oclint is the router's vettool: it bundles the
 // internal/analysis suite (maporder, checkedverify, pointkey,
-// staticdrc) into a single binary speaking the `go vet` separate-
-// compilation protocol, and doubles as a standalone checker.
+// staticdrc, shadowbuiltin, nondeterm, specwrite, hotalloc) into a
+// single binary speaking the `go vet` separate-compilation protocol,
+// and doubles as a standalone checker.
+//
+// The fact-propagating analyzers (nondeterm, specwrite, hotalloc)
+// attach properties to functions and follow them across package
+// boundaries. In standalone mode packages are analyzed in dependency
+// order over one shared fact store; in vet mode facts travel between
+// compilation units through the protocol's .vetx files.
 //
 // Usage:
 //
 //	go vet -vettool=$(which oclint) ./...   # alongside a normal build
 //	oclint ./...                            # standalone, loads via go list
+//	oclint -github ./...                    # findings as GitHub annotations
 //	oclint help                             # list analyzers
 //
 // The protocol required by `go vet -vettool` (see
@@ -104,6 +112,7 @@ usage:
 	fs.Var(versionFlag{}, "V", "print version and exit")
 	printflags := fs.Bool("flags", false, "print analyzer flags in JSON")
 	jsonOut := fs.Bool("json", false, "emit JSON output")
+	github := fs.Bool("github", false, "emit findings as GitHub Actions workflow annotations (standalone mode)")
 	fs.Int("c", -1, "display offending line with this many lines of context (ignored)")
 	// Legacy vet shims the go command may relay.
 	fs.Bool("source", false, "no effect (deprecated)")
@@ -141,6 +150,10 @@ usage:
 	}
 
 	// Standalone mode: load packages from source via the go command.
+	// LoadPackages returns them in dependency order (with module
+	// dependencies of narrow patterns included as facts-only packages),
+	// so a single shared fact store gives every analyzer the facts of
+	// everything a package imports.
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -149,6 +162,7 @@ usage:
 		fmt.Fprintln(os.Stderr, "oclint:", err)
 		os.Exit(1)
 	}
+	facts := framework.NewFactStore()
 	exit := 0
 	for _, pkg := range pkgs {
 		pass := framework.Pass{
@@ -157,13 +171,23 @@ usage:
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 		}
-		diags, err := framework.RunAnalyzers(pass, analyzers)
+		diags, err := framework.RunAnalyzers(pass, analyzers, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oclint:", err)
 			os.Exit(1)
 		}
+		if pkg.FactsOnly {
+			continue // analyzed for facts; not named by the patterns
+		}
 		for _, d := range diags {
 			posn := pkg.Fset.Position(d.Pos)
+			if *github {
+				// GitHub Actions workflow-command annotations: rendered
+				// inline on the PR diff by the lint job.
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=oclint/%s::%s\n",
+					posn.Filename, posn.Line, posn.Column, d.Category,
+					strings.ReplaceAll(d.Message, "\n", " "))
+			}
 			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", posn, d.Category, d.Message)
 			exit = 2
 		}

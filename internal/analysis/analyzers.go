@@ -1,9 +1,20 @@
-// Package analysis is the router's custom lint suite: five analyzers
+// Package analysis is the router's custom lint suite: eight analyzers
 // that statically enforce the properties the level B router's results
 // depend on — deterministic routing decisions, checked design-rule
 // verification, sound geometry keys and arithmetic, statically valid
-// router configurations, and no shadowing of predeclared builtins. cmd/oclint wires them into a vettool
-// runnable as `go vet -vettool=$(which oclint) ./...`.
+// router configurations, no shadowing of predeclared builtins, no
+// nondeterminism sources reachable from routing code, no shared-state
+// writes escaping the speculate/validate/commit protocol, and
+// allocation discipline on //oc:hotpath functions. cmd/oclint wires
+// them into a vettool runnable as
+// `go vet -vettool=$(which oclint) ./...`.
+//
+// The last three analyzers propagate framework facts across function
+// and package boundaries (see facts.go and DESIGN.md section 14), so
+// a property like "calling this helper reads the wall clock" or
+// "calling this method writes routing state reachable from its
+// receiver" follows the call graph instead of stopping at the package
+// edge.
 //
 // The suite encodes the "catch it before you route" discipline of the
 // early-routability literature at the source level: the TIG/MBFS
@@ -32,6 +43,9 @@ func All() []*framework.Analyzer {
 		PointKey,
 		StaticDRC,
 		ShadowBuiltin,
+		NonDeterm,
+		SpecWrite,
+		HotAlloc,
 	}
 }
 
@@ -70,4 +84,56 @@ func inModule(pkgPath, name string) bool {
 		return seg == name
 	}
 	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+// corpus splits a corpus package path into the analyzer it is bound to
+// and whether it is the corpus root. Subpackages below the root (for
+// example testdata/src/specwrite/inner) model "some other package of
+// the module": fact computation sees them, diagnostic scope does not —
+// which is exactly how cross-package fact propagation is exercised.
+func corpus(pkgPath string) (name string, root bool, ok bool) {
+	path := framework.NormalizePkgPath(pkgPath)
+	i := strings.Index(path, "/testdata/src/")
+	if i < 0 {
+		return "", false, false
+	}
+	seg := path[i+len("/testdata/src/"):]
+	if j := strings.IndexByte(seg, '/'); j >= 0 {
+		return seg[:j], false, true
+	}
+	return seg, true, true
+}
+
+// factScope reports whether the analyzer named name should compute
+// facts for the package: every package of the module, plus the
+// analyzer's own corpus (root and subpackages).
+func factScope(pkgPath, name string) bool {
+	if cname, _, ok := corpus(pkgPath); ok {
+		return cname == name
+	}
+	path := framework.NormalizePkgPath(pkgPath)
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+// reportScope reports whether the analyzer named name should emit
+// diagnostics for the package: the listed internal packages, the
+// module root, optionally the cmd tree — and the analyzer's corpus
+// root.
+func reportScope(pkgPath, name string, internalPkgs []string, includeCmds bool) bool {
+	if cname, isRoot, ok := corpus(pkgPath); ok {
+		return cname == name && isRoot
+	}
+	path := framework.NormalizePkgPath(pkgPath)
+	if path == modulePath {
+		return true
+	}
+	if includeCmds && strings.HasPrefix(path, modulePath+"/cmd/") {
+		return true
+	}
+	for _, s := range internalPkgs {
+		if path == modulePath+"/internal/"+s {
+			return true
+		}
+	}
+	return false
 }

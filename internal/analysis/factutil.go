@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"overcell/internal/analysis/framework"
+)
+
+// calleeOf resolves a call expression to the *types.Func it invokes
+// (package function, method, or conversion-free builtin call), or nil
+// when the callee is dynamic (interface method without a concrete
+// target, function value, builtin, or conversion).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// declObj returns the *types.Func object a function declaration
+// defines.
+func declObj(info *types.Info, fn *ast.FuncDecl) *types.Func {
+	obj, _ := info.Defs[fn.Name].(*types.Func)
+	return obj
+}
+
+// isModuleFunc reports whether fn belongs to this module (or a corpus
+// package), i.e. whether facts may exist for it.
+func isModuleFunc(fn *types.Func, analyzer string) bool {
+	return fn != nil && fn.Pkg() != nil && inModule(fn.Pkg().Path(), analyzer)
+}
+
+// baseIdent unwraps selector, index, star, and paren chains down to
+// the root identifier of an lvalue or receiver expression:
+// (*p.f[i]).g → p. It returns nil for rooted-in-call or otherwise
+// anonymous expressions.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X // &x chains
+		default:
+			return nil
+		}
+	}
+}
+
+// nonTestFuncs visits every function declaration of the package's
+// non-test files.
+func nonTestFuncs(pass *framework.Pass, visit func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		if framework.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(fn)
+			}
+		}
+	}
+}
+
+// inLoop reports whether pos lies inside the body of any for/range
+// statement within body.
+func loopBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, s.Body)
+		case *ast.RangeStmt:
+			out = append(out, s.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// objOfIdent resolves an identifier to its object, following either a
+// use or a definition.
+func objOfIdent(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -24,17 +24,30 @@ import (
 	"overcell/internal/analysis/framework"
 )
 
-// Run loads testdata/src/<corpus> (relative to the calling test's
-// package directory), applies the analyzer, and reports mismatches
-// between diagnostics and want comments as test failures.
-func Run(t *testing.T, a *framework.Analyzer, corpus string) {
+// Run loads testdata/src/<corpus> for each named corpus (relative to
+// the calling test's package directory), applies the analyzer, and
+// reports mismatches between diagnostics and want comments as test
+// failures.
+//
+// All corpora load in one call and share one fact store, with packages
+// analyzed in dependency order — so a multi-package corpus (a root
+// package importing a helper package) exercises cross-package fact
+// propagation exactly as the real drivers do. Fact-only dependencies
+// pulled in implicitly are analyzed too, but only the named packages'
+// diagnostics are checked against want comments.
+func Run(t *testing.T, a *framework.Analyzer, corpora ...string) {
 	t.Helper()
-	pkgs, err := framework.LoadPackages(".", "./testdata/src/"+corpus)
-	if err != nil {
-		t.Fatalf("loading corpus %q: %v", corpus, err)
+	patterns := make([]string, len(corpora))
+	for i, c := range corpora {
+		patterns[i] = "./testdata/src/" + c
 	}
+	pkgs, err := framework.LoadPackages(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading corpora %q: %v", corpora, err)
+	}
+	facts := framework.NewFactStore()
 	for _, pkg := range pkgs {
-		checkPackage(t, a, pkg)
+		checkPackage(t, a, pkg, facts)
 	}
 }
 
@@ -43,7 +56,7 @@ type expectation struct {
 	matched bool
 }
 
-func checkPackage(t *testing.T, a *framework.Analyzer, pkg *framework.Package) {
+func checkPackage(t *testing.T, a *framework.Analyzer, pkg *framework.Package, facts *framework.FactStore) {
 	t.Helper()
 	pass := framework.Pass{
 		Fset:      pkg.Fset,
@@ -51,9 +64,14 @@ func checkPackage(t *testing.T, a *framework.Analyzer, pkg *framework.Package) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 	}
-	diags, err := framework.RunAnalyzers(pass, []*framework.Analyzer{a})
+	diags, err := framework.RunAnalyzers(pass, []*framework.Analyzer{a}, facts)
 	if err != nil {
 		t.Fatalf("%s: %v", pkg.Path, err)
+	}
+	if pkg.FactsOnly {
+		// Analyzed for its exported facts only; its diagnostics belong
+		// to no want corpus.
+		return
 	}
 
 	wants := map[string][]*expectation{} // "file:line" -> expectations

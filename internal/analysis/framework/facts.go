@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// A Fact is a typed property an analyzer attaches to a package-level
+// object (a function, method, or variable) so it can be consulted when
+// a *different* package that references the object is analyzed later.
+// Facts are the mechanism that lets a property propagate across
+// package boundaries: packages are analyzed in dependency order, so by
+// the time a caller is checked, the facts of everything it imports are
+// already in the store.
+//
+// Fact types must be JSON-serializable (exported fields) — facts cross
+// process boundaries in `go vet -vettool` mode, where each compilation
+// unit runs in its own invocation and facts travel via .vetx files.
+type Fact interface {
+	// AFact is a marker method; it has no behaviour.
+	AFact() bool
+}
+
+// factKey identifies one fact: which analyzer produced it, which
+// object it describes, and the fact's concrete type (one analyzer may
+// attach several fact types to the same object).
+type factKey struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Type     string
+}
+
+// FactStore accumulates the facts of an analysis run. One store is
+// shared across every package of a standalone run (dependency order
+// guarantees producers run before consumers); in vet-unit mode the
+// store is seeded from the dependency .vetx files and written back out
+// for dependents.
+type FactStore struct {
+	facts map[factKey]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[factKey]json.RawMessage{}}
+}
+
+// ObjectKey derives the stable cross-package name of a package-level
+// object: "Func" for functions, "Type.Method" for methods, "Var" for
+// package-level variables. Objects without a stable name (locals,
+// fields, interface methods without a concrete receiver) return
+// ok=false; facts cannot be attached to them.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		return fn.Name(), true
+	}
+	// Package-scope variables and constants only.
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+func (s *FactStore) key(analyzer string, obj types.Object, fact Fact) (factKey, bool) {
+	name, ok := ObjectKey(obj)
+	if !ok {
+		return factKey{}, false
+	}
+	return factKey{
+		Analyzer: analyzer,
+		Pkg:      NormalizePkgPath(obj.Pkg().Path()),
+		Obj:      name,
+		Type:     fmt.Sprintf("%T", fact),
+	}, true
+}
+
+// export records fact for obj. Unkeyable objects are silently skipped
+// (the analyzer simply loses propagation through them, it does not
+// crash).
+func (s *FactStore) export(analyzer string, obj types.Object, fact Fact) error {
+	k, ok := s.key(analyzer, obj, fact)
+	if !ok {
+		return nil
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("framework: encoding fact %T for %s.%s: %w", fact, k.Pkg, k.Obj, err)
+	}
+	s.facts[k] = data
+	return nil
+}
+
+// importFact loads the fact recorded for obj into the value fact
+// points to, reporting whether one was found.
+func (s *FactStore) importFact(analyzer string, obj types.Object, fact Fact) bool {
+	k, ok := s.key(analyzer, obj, fact)
+	if !ok {
+		return false
+	}
+	data, ok := s.facts[k]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, fact) == nil
+}
+
+// encodedFact is the on-disk (.vetx) representation of one fact.
+type encodedFact struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Type     string
+	Data     json.RawMessage
+}
+
+// Encode serializes the whole store, deterministically ordered. The
+// vet-unit driver writes this as the package's .vetx file; the full
+// store (imported facts included) is re-exported so transitive
+// dependencies flow even when the go command only hands a unit its
+// direct imports' fact files.
+func (s *FactStore) Encode() ([]byte, error) {
+	out := make([]encodedFact, 0, len(s.facts))
+	for k, data := range s.facts {
+		out = append(out, encodedFact{k.Analyzer, k.Pkg, k.Obj, k.Type, data})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(out)
+}
+
+// Merge decodes a serialized fact set into the store. Empty input is
+// valid (a package with no facts writes an empty file).
+func (s *FactStore) Merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []encodedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("framework: decoding facts: %w", err)
+	}
+	for _, f := range in {
+		s.facts[factKey{f.Analyzer, f.Pkg, f.Obj, f.Type}] = f.Data
+	}
+	return nil
+}
+
+// Len reports the number of facts in the store.
+func (s *FactStore) Len() int { return len(s.facts) }

@@ -3,13 +3,17 @@
 // standard library. The repo's correctness analyzers (internal/analysis)
 // and the cmd/oclint vettool are written against it.
 //
-// The subset implemented here is deliberately small: analyzers are pure
-// functions over a type-checked package, there are no cross-package
-// facts and no analyzer-to-analyzer dependencies. What is kept faithful
-// is the external contract — the `go vet -vettool` separate-compilation
-// protocol (see unitchecker.go) and `// want`-comment driven corpus
-// tests (see the analysistest subpackage) — so the suite behaves like a
-// conventional x/tools checker from the outside.
+// The subset implemented here is deliberately small: analyzers are
+// functions over a type-checked package plus a cross-package fact
+// store (see facts.go) — facts attach typed properties to package-
+// level objects and flow to dependent packages, which are always
+// analyzed later (dependency order in standalone mode, .vetx files in
+// vet-unit mode). There are no analyzer-to-analyzer dependencies. What
+// is kept faithful is the external contract — the `go vet -vettool`
+// separate-compilation protocol (see unitchecker.go) and
+// `// want`-comment driven corpus tests (see the analysistest
+// subpackage) — so the suite behaves like a conventional x/tools
+// checker from the outside.
 package framework
 
 import (
@@ -36,7 +40,8 @@ type Analyzer struct {
 func (a *Analyzer) String() string { return a.Name }
 
 // A Pass provides one analyzer with the parsed and type-checked syntax
-// of a single package and a sink for its diagnostics.
+// of a single package, a sink for its diagnostics, and the run's
+// shared fact store.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -44,11 +49,37 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	facts     *FactStore
 }
 
 // Reportf reports a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj for later passes (the same
+// package's remaining files, and every dependent package). Later
+// exports of the same fact type for the same object overwrite earlier
+// ones.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		p.facts = NewFactStore()
+	}
+	// Encoding errors mean a non-serializable fact type: an analyzer
+	// bug, surfaced loudly rather than silently dropping propagation.
+	if err := p.facts.export(p.Analyzer.Name, obj, fact); err != nil {
+		panic(err)
+	}
+}
+
+// ImportObjectFact loads the fact previously exported for obj (by this
+// analyzer, in this package or any dependency) into fact, reporting
+// whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.importFact(p.Analyzer.Name, obj, fact)
 }
 
 // A Diagnostic is one finding.
@@ -75,11 +106,20 @@ func Validate(analyzers []*Analyzer) error {
 
 // RunAnalyzers applies each analyzer to the package and returns the
 // diagnostics sorted by position. Analyzer errors abort the run.
-func RunAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+// facts, when non-nil, carries object facts across packages: pass the
+// same store for every package of a run, in dependency order, so
+// properties exported while analyzing a dependency are visible when
+// its importers are analyzed. A nil store still allows intra-package
+// facts.
+func RunAnalyzers(pass Pass, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		p := pass // copy; each analyzer gets its own Report closure
 		p.Analyzer = a
+		p.facts = facts
 		p.Report = func(d Diagnostic) {
 			d.Category = a.Name
 			out = append(out, d)

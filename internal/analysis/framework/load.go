@@ -23,6 +23,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// FactsOnly marks a dependency loaded solely so analyzers can
+	// compute its exported facts: it was not named by the patterns, so
+	// its diagnostics must be suppressed.
+	FactsOnly bool
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -43,6 +47,15 @@ type listedPkg struct {
 // produced by `go list -export`, the same type information `go vet`
 // feeds its vettool, so no network access and no third-party loader is
 // needed.
+//
+// Non-standard-library dependencies of the matched packages (in
+// practice: this module's own packages pulled in by a narrow pattern)
+// are also loaded from source, marked FactsOnly, so fact-producing
+// analyzers see them even when only their importers were named.
+// `go list -deps` emits packages in dependency order — every package
+// after all of its imports — and that order is preserved, which is
+// what makes a single shared FactStore sufficient for cross-package
+// propagation.
 func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -70,7 +83,7 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
+		if !p.DepOnly || (!p.Standard && len(p.GoFiles) > 0) {
 			targets = append(targets, p)
 		}
 	}
@@ -78,12 +91,16 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	for _, t := range targets {
 		if len(t.CgoFiles) > 0 {
+			if t.DepOnly {
+				continue // facts from a cgo dependency are simply lost
+			}
 			return nil, fmt.Errorf("framework: package %s uses cgo (unsupported)", t.ImportPath)
 		}
 		pkg, err := typeCheck(t, exports)
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -39,13 +39,23 @@ type VetConfig struct {
 // RunUnit implements the per-package half of the vettool protocol: it
 // reads the config file, type-checks the unit against the compiler
 // export data the go command already produced, runs the analyzers, and
-// exits — 0 when clean, 2 when diagnostics were reported. The go
-// command requires the facts file named by VetxOutput to exist
-// afterwards; this suite keeps no cross-package facts, so an empty file
-// is written.
+// exits — 0 when clean, 2 when diagnostics were reported.
+//
+// Cross-package facts ride the protocol's .vetx channel: the facts of
+// every dependency unit (cfg.PackageVetx) seed the store before the
+// analyzers run, and the full store — imported facts plus the ones
+// this unit exported — is written to cfg.VetxOutput for dependents.
+// Dependency units arrive with VetxOnly set: analyzers still run (they
+// must, to produce facts) but their diagnostics are discarded; the go
+// command reports diagnostics only for the packages actually named.
 func RunUnit(configFile string, analyzers []*Analyzer, jsonOut bool) {
 	cfg, err := readVetConfig(configFile)
 	if err != nil {
+		fatalf("%v", err)
+	}
+
+	facts := NewFactStore()
+	if err := readDepFacts(facts, cfg); err != nil {
 		fatalf("%v", err)
 	}
 
@@ -53,7 +63,7 @@ func RunUnit(configFile string, analyzers []*Analyzer, jsonOut bool) {
 	files, err := parseUnit(fset, cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			finish(cfg, nil, nil, jsonOut)
+			finish(cfg, facts, nil, nil, jsonOut)
 		}
 		fatalf("%v", err)
 	}
@@ -61,25 +71,42 @@ func RunUnit(configFile string, analyzers []*Analyzer, jsonOut bool) {
 	pkg, info, err := checkUnit(fset, cfg, files)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			finish(cfg, nil, nil, jsonOut)
+			finish(cfg, facts, nil, nil, jsonOut)
 		}
 		fatalf("%v", err)
 	}
 
-	var diags []Diagnostic
-	if !cfg.VetxOnly {
-		pass := Pass{
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-		}
-		diags, err = RunAnalyzers(pass, analyzers)
+	pass := Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	diags, err := RunAnalyzers(pass, analyzers, facts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if cfg.VetxOnly {
+		diags = nil
+	}
+	finish(cfg, facts, fset, diags, jsonOut)
+}
+
+// readDepFacts merges every dependency's facts file into the store.
+// The iteration order does not matter: keys are disjoint per (package,
+// object, analyzer, fact type), and duplicates across files carry
+// identical payloads.
+func readDepFacts(facts *FactStore, cfg *VetConfig) error {
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
 		if err != nil {
-			fatalf("%v", err)
+			return fmt.Errorf("reading facts of %s: %v", path, err)
+		}
+		if err := facts.Merge(data); err != nil {
+			return fmt.Errorf("facts of %s: %v", path, err)
 		}
 	}
-	finish(cfg, fset, diags, jsonOut)
+	return nil
 }
 
 func readVetConfig(filename string) (*VetConfig, error) {
@@ -137,10 +164,17 @@ func checkUnit(fset *token.FileSet, cfg *VetConfig, files []*ast.File) (*types.P
 	return pkg, info, nil
 }
 
-// finish writes the (empty) facts file, prints diagnostics, and exits.
-func finish(cfg *VetConfig, fset *token.FileSet, diags []Diagnostic, jsonOut bool) {
+// finish writes the facts file, prints diagnostics, and exits.
+func finish(cfg *VetConfig, facts *FactStore, fset *token.FileSet, diags []Diagnostic, jsonOut bool) {
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		var data []byte
+		if facts != nil && facts.Len() > 0 {
+			var err error
+			if data, err = facts.Encode(); err != nil {
+				fatalf("failed to encode facts: %v", err)
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			fatalf("failed to write facts file: %v", err)
 		}
 	}

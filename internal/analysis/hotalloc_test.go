@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overcell/internal/analysis"
+	"overcell/internal/analysis/framework/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.HotAlloc, "hotalloc", "hotalloc/helper")
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteMeta holds every analyzer in All() to the suite's own
+// contract: a unique lowercase name, a Doc worth printing in -help
+// output, a Run function, and a corpus under testdata/src/<name>
+// containing both flagged cases (files with // want comments) and
+// clean cases (files without), so a regression that silences an
+// analyzer entirely cannot pass its corpus test by vacuity.
+func TestSuiteMeta(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			if a.Name == "" || a.Name != strings.ToLower(a.Name) {
+				t.Errorf("analyzer name %q must be non-empty lowercase", a.Name)
+			}
+			if seen[a.Name] {
+				t.Errorf("duplicate analyzer name %q in All()", a.Name)
+			}
+			seen[a.Name] = true
+			if strings.TrimSpace(a.Doc) == "" {
+				t.Error("empty Doc: the driver's -help output would be blank")
+			}
+			if a.Run == nil {
+				t.Fatal("nil Run")
+			}
+
+			dir := filepath.Join("testdata", "src", a.Name)
+			var flagged, clean int
+			err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() || !strings.HasSuffix(path, ".go") {
+					return nil
+				}
+				src, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				if bytes.Contains(src, []byte("// want ")) {
+					flagged++
+				} else {
+					clean++
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("corpus %s: %v (every analyzer needs a corpus)", dir, err)
+			}
+			if flagged == 0 {
+				t.Errorf("corpus %s has no file with // want expectations: the corpus test would pass even if the analyzer went silent", dir)
+			}
+			if clean == 0 {
+				t.Errorf("corpus %s has no clean file: false positives on idiomatic code would go unnoticed", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"overcell/internal/analysis"
+	"overcell/internal/analysis/framework/analysistest"
+)
+
+func TestNonDeterm(t *testing.T) {
+	analysistest.Run(t, analysis.NonDeterm, "nondeterm", "nondeterm/helper")
+}

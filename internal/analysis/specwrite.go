@@ -1,0 +1,436 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"overcell/internal/analysis/framework"
+)
+
+// specwriteScope is where speculative goroutines are spawned and
+// therefore where diagnostics land: the core router. The fact half of
+// the analyzer runs module-wide, so a helper in maze or grid that
+// mutates state reachable from its parameters is summarized where it
+// lives and reported where a worker goroutine reaches it.
+var specwriteScope = []string{"core"}
+
+// sharedWriteFact summarizes which of a function's inputs it writes
+// through: the receiver, parameters by index, or package-level state.
+// "Writes through" is transitive — calling a function whose fact marks
+// parameter 0 written, with your own parameter as that argument, makes
+// your parameter written too. A //oc:workersafe directive on a
+// function suppresses its summary: the function has been audited as
+// safe to reach from a speculative worker.
+type sharedWriteFact struct {
+	Recv    bool
+	Params  []int
+	Globals bool
+	Why     string // first write site, e.g. "stores to recv at grid.go:88"
+}
+
+func (*sharedWriteFact) AFact() bool { return true }
+
+func (f *sharedWriteFact) empty() bool { return !f.Recv && len(f.Params) == 0 && !f.Globals }
+
+// SpecWrite enforces the speculate/validate/commit protocol of the
+// parallel level-B pass: a goroutine spawned by the router must confine
+// its writes to state isolated for it — a grid clone, a budget fork, a
+// buffering recorder, a per-attempt speculation struct — and must not
+// mutate the live grid, tracer, budget, or package state it can reach
+// through captured variables. The write summaries propagate bottom-up
+// through the call graph as facts, so the check sees through arbitrarily
+// deep helpers in other packages.
+var SpecWrite = &framework.Analyzer{
+	Name: "specwrite",
+	Doc: "flag shared-state writes reachable from speculative goroutines\n\n" +
+		"Parallel level-B routing stays deterministic only because workers\n" +
+		"write exclusively to per-attempt isolated state and the committer\n" +
+		"replays validated results in serial order. Any write that escapes\n" +
+		"that protocol reintroduces scheduling-dependent results. Route\n" +
+		"mutations through Clone/Fork snapshots; //oc:workersafe marks an\n" +
+		"audited exception.",
+	Run: runSpecWrite,
+}
+
+func runSpecWrite(pass *framework.Pass) error {
+	path := pass.Pkg.Path()
+	if !factScope(path, "specwrite") {
+		return nil
+	}
+	dirs := framework.CollectDirectives(pass.Fset, pass.Files)
+
+	// Phase A: compute write summaries for this package's functions,
+	// iterating to a fixpoint so intra-package call chains converge
+	// regardless of declaration order.
+	for {
+		changed := false
+		nonTestFuncs(pass, func(fn *ast.FuncDecl) {
+			if dirs.Func(fn, "workersafe") {
+				return // audited: exports no summary
+			}
+			obj := declObj(pass.TypesInfo, fn)
+			if obj == nil {
+				return
+			}
+			sum := summarizeWrites(pass, fn)
+			if sum.empty() {
+				return
+			}
+			var have sharedWriteFact
+			if pass.ImportObjectFact(obj, &have) && factEqual(&have, sum) {
+				return
+			}
+			pass.ExportObjectFact(obj, sum)
+			changed = true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Phase B: check goroutine spawn sites.
+	if !reportScope(path, "specwrite", specwriteScope, false) {
+		return nil
+	}
+	nonTestFuncs(pass, func(fn *ast.FuncDecl) {
+		if dirs.Func(fn, "workersafe") {
+			return
+		}
+		iso := classifyLocals(pass.TypesInfo, fn.Body)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, dirs, fn, g, iso)
+			return true
+		})
+	})
+	return nil
+}
+
+func factEqual(a, b *sharedWriteFact) bool {
+	if a.Recv != b.Recv || a.Globals != b.Globals || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// funcInputs maps a declaration's receiver and parameter objects to
+// fact positions (receiver = -1, parameters 0-based).
+func funcInputs(info *types.Info, fn *ast.FuncDecl) map[types.Object]int {
+	m := map[types.Object]int{}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					m[obj] = -1
+				}
+			}
+		}
+	}
+	i := 0
+	for _, f := range fn.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				m[obj] = i
+			}
+			i++
+		}
+	}
+	return m
+}
+
+// summarizeWrites computes fn's write summary: which receiver/params/
+// globals the function (transitively) writes through. Writes to locals
+// are invisible — they are the isolation the protocol relies on —
+// unless the local is an alias of an input.
+func summarizeWrites(pass *framework.Pass, fn *ast.FuncDecl) *sharedWriteFact {
+	inputs := funcInputs(pass.TypesInfo, fn)
+	aliases := inputAliases(pass.TypesInfo, fn.Body, inputs)
+	sum := &sharedWriteFact{}
+	record := func(e ast.Expr, why string) {
+		recordWrite(pass, inputs, aliases, sum, e, why)
+	}
+	forEachWrite(pass, fn.Body, record)
+	return sum
+}
+
+// forEachWrite visits every shared-state-relevant write target in body:
+// assignment and inc/dec lvalues, channel sends, delete/copy builtins,
+// sync/atomic mutators, interface event emission, and arguments at
+// written positions of fact-carrying callees.
+func forEachWrite(pass *framework.Pass, body ast.Node, record func(e ast.Expr, why string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				record(lhs, "writes state")
+			}
+		case *ast.IncDecStmt:
+			record(n.X, "writes state")
+		case *ast.SendStmt:
+			record(n.Chan, "sends on a channel")
+		case *ast.CallExpr:
+			forCallWrites(pass, n, record)
+		}
+		return true
+	})
+}
+
+// forCallWrites records the write targets implied by one call.
+func forCallWrites(pass *framework.Pass, call *ast.CallExpr, record func(e ast.Expr, why string)) {
+	// Builtins that mutate their first argument.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if (b.Name() == "delete" || b.Name() == "copy" || b.Name() == "clear") && len(call.Args) > 0 {
+				record(call.Args[0], "writes state")
+			}
+			return
+		}
+	}
+	callee := calleeOf(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	recvExpr := func() ast.Expr {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+
+	if pkg := callee.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sync":
+			// Mutex/WaitGroup/Once are the synchronization fabric, not
+			// routing state.
+			return
+		case "sync/atomic":
+			name := callee.Name()
+			if strings.HasPrefix(name, "Load") {
+				return
+			}
+			if sig != nil && sig.Recv() != nil {
+				if e := recvExpr(); e != nil {
+					record(e, "atomically updates state")
+				}
+			} else if len(call.Args) > 0 {
+				record(call.Args[0], "atomically updates state")
+			}
+			return
+		}
+	}
+
+	// Event emission through an interface: the tracer contract. Workers
+	// must buffer into a recorder instead.
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		if callee.Name() == "Emit" {
+			if e := recvExpr(); e != nil {
+				record(e, "emits trace events")
+			}
+		}
+		return
+	}
+
+	if !isModuleFunc(callee, "specwrite") {
+		return
+	}
+	var fact sharedWriteFact
+	if !pass.ImportObjectFact(callee, &fact) {
+		return
+	}
+	why := "reaches " + callee.Name() + "'s writes"
+	if fact.Globals {
+		record(nil, "calls "+callee.Name()+", which writes package state")
+	}
+	if fact.Recv {
+		if e := recvExpr(); e != nil {
+			record(e, why)
+		}
+	}
+	for _, p := range fact.Params {
+		if a := argAt(call, sig, p); a != nil {
+			record(a, why)
+		}
+	}
+}
+
+// argAt returns the argument expression bound to parameter index p,
+// folding variadic tails onto the variadic parameter.
+func argAt(call *ast.CallExpr, sig *types.Signature, p int) ast.Expr {
+	if p < 0 || p >= len(call.Args) {
+		if sig != nil && sig.Variadic() && p == sig.Params().Len()-1 && len(call.Args) > 0 {
+			return call.Args[len(call.Args)-1]
+		}
+		return nil
+	}
+	return call.Args[p]
+}
+
+// recordWrite folds one write target into the summary. nil means "a
+// global write with no expression" (from a callee's Globals fact).
+func recordWrite(pass *framework.Pass, inputs map[types.Object]int, aliases map[types.Object]int, sum *sharedWriteFact, e ast.Expr, why string) {
+	site := func(pos token.Pos) string {
+		posn := pass.Fset.Position(pos)
+		return fmt.Sprintf("%s at %s:%d", why, shortFile(posn.Filename), posn.Line)
+	}
+	if e == nil {
+		if !sum.Globals {
+			sum.Globals = true
+			if sum.Why == "" {
+				sum.Why = why
+			}
+		}
+		return
+	}
+	base := baseIdent(e)
+	if base == nil || base.Name == "_" {
+		return
+	}
+	obj := objOfIdent(pass.TypesInfo, base)
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+		if !sum.Globals {
+			sum.Globals = true
+			if sum.Why == "" {
+				sum.Why = site(e.Pos())
+			}
+		}
+		return
+	}
+	idx, ok := inputs[obj]
+	if !ok {
+		idx, ok = aliases[obj]
+	}
+	if !ok {
+		return // write to a local: the isolation the protocol wants
+	}
+	// Writing a value-typed parameter mutates the callee's copy unless
+	// the write path dereferences or indexes into shared backing store.
+	if !isPointerLike(obj.Type()) && !pathIndirect(e) {
+		return
+	}
+	if idx == -1 {
+		if !sum.Recv {
+			sum.Recv = true
+			if sum.Why == "" {
+				sum.Why = site(e.Pos())
+			}
+		}
+		return
+	}
+	for _, p := range sum.Params {
+		if p == idx {
+			return
+		}
+	}
+	sum.Params = append(sum.Params, idx)
+	if sum.Why == "" {
+		sum.Why = site(e.Pos())
+	}
+}
+
+// inputAliases finds locals that alias an input: x := recv.field, or a
+// chain of such rebinds. Writes through them count against the input.
+func inputAliases(info *types.Info, body ast.Node, inputs map[types.Object]int) map[types.Object]int {
+	aliases := map[types.Object]int{}
+	resolve := func(e ast.Expr) (int, bool) {
+		base := baseIdent(e)
+		if base == nil {
+			return 0, false
+		}
+		obj := objOfIdent(info, base)
+		if obj == nil {
+			return 0, false
+		}
+		if idx, ok := inputs[obj]; ok {
+			return idx, true
+		}
+		idx, ok := aliases[obj]
+		return idx, ok
+	}
+	// Two passes handle later-declared aliases of earlier aliases well
+	// enough for real code without a full dataflow analysis.
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || !isPointerLike(obj.Type()) {
+					continue
+				}
+				if _, isCall := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); isCall {
+					continue // call results are caller-owned fresh values
+				}
+				if idx, ok := resolve(as.Rhs[i]); ok {
+					aliases[obj] = idx
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// isPointerLike reports whether writes through a value of this type can
+// be observed by other holders of the same value.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// pathIndirect reports whether the lvalue path dereferences or indexes
+// below its base — a write that escapes a value copy into shared
+// backing store (p.s[i] = v with value receiver p).
+func pathIndirect(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr, *ast.StarExpr:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// shortFile trims a path to its final element for compact fact
+// provenance.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"overcell/internal/analysis/framework"
+)
+
+// classifyLocals decides, per local object of a function body, whether
+// it holds goroutine-isolatable state: initialized from a composite
+// literal, &composite, make/new, or a Clone/Fork call — or an alias of
+// such a local. Everything else (parameters, the receiver, package
+// vars, unrecognized initializers) stays shared.
+func classifyLocals(info *types.Info, body ast.Node) map[types.Object]bool {
+	iso := map[types.Object]bool{}
+	isIso := func(e ast.Expr) bool {
+		if isolatingExpr(info, e) {
+			return true
+		}
+		if base := baseIdent(e); base != nil {
+			if obj := objOfIdent(info, base); obj != nil {
+				return iso[obj]
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOfIdent(info, id)
+				if obj == nil {
+					continue
+				}
+				if n.Tok == token.DEFINE {
+					iso[obj] = isIso(n.Rhs[i])
+				} else if iso[obj] && !isIso(n.Rhs[i]) {
+					iso[obj] = false // rebound to something shared
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						iso[obj] = true // fresh zero value
+					} else if i < len(vs.Values) {
+						iso[obj] = isIso(vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return iso
+}
+
+// isolatingExpr reports whether evaluating e yields state no other
+// goroutine can hold: a fresh composite, allocation, or an explicit
+// snapshot (Clone/Fork — the protocol's constructors).
+func isolatingExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "make" || b.Name() == "new"
+			}
+		}
+		if callee := calleeOf(info, e); callee != nil {
+			switch callee.Name() {
+			case "Clone", "Fork":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spawnCtx carries everything needed to classify an expression inside
+// one spawned goroutine.
+type spawnCtx struct {
+	pass *framework.Pass
+	// iso classifies the enclosing function's locals.
+	iso map[types.Object]bool
+	// bound classifies the goroutine function literal's own locals and
+	// parameter bindings.
+	bound map[types.Object]bool
+	// loop is the innermost loop body containing the go statement, if
+	// any: captured isolated locals must be declared inside it to be
+	// per-iteration fresh rather than shared across workers.
+	loop *ast.BlockStmt
+}
+
+// exprIsolated reports whether the goroutine owns the state reachable
+// through e.
+func (sc *spawnCtx) exprIsolated(e ast.Expr) bool {
+	base := baseIdent(e)
+	if base == nil {
+		return isolatingExpr(sc.pass.TypesInfo, e)
+	}
+	obj := objOfIdent(sc.pass.TypesInfo, base)
+	if obj == nil {
+		return false
+	}
+	if v, ok := obj.(*types.Var); ok && v.Parent() == sc.pass.Pkg.Scope() {
+		return false // package state is never goroutine-owned
+	}
+	if isoOK, ok := sc.bound[obj]; ok {
+		return isoOK
+	}
+	if !sc.iso[obj] {
+		return false
+	}
+	// A captured isolated local is per-worker fresh only if each loop
+	// iteration rebuilds it.
+	if sc.loop != nil {
+		return obj.Pos() >= sc.loop.Pos() && obj.Pos() <= sc.loop.End()
+	}
+	return true
+}
+
+// checkSpawn validates one go statement against the speculation
+// protocol.
+func checkSpawn(pass *framework.Pass, dirs *framework.Directives, fn *ast.FuncDecl, g *ast.GoStmt, iso map[types.Object]bool) {
+	sc := &spawnCtx{pass: pass, iso: iso, bound: map[types.Object]bool{}, loop: innermostLoop(fn.Body, g.Pos())}
+
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// Parameters of the literal take the isolation of the argument
+		// bound to them at spawn; value-typed parameters copy.
+		i := 0
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj != nil && i < len(g.Call.Args) {
+					sc.bound[obj] = !isPointerLike(obj.Type()) || sc.exprIsolated(g.Call.Args[i])
+				}
+				i++
+			}
+		}
+		for obj, ok := range classifyLocals(pass.TypesInfo, lit.Body) {
+			if _, bound := sc.bound[obj]; !bound {
+				sc.bound[obj] = ok
+			}
+		}
+		checkSpawnBody(sc, dirs, fn, lit.Body)
+		return
+	}
+
+	// go f(args) / go x.m(args): judge the call by f's fact.
+	checkSpawnedCall(sc, dirs, fn, g.Call)
+}
+
+// checkSpawnBody reports protocol violations inside a goroutine's
+// function literal.
+func checkSpawnBody(sc *spawnCtx, dirs *framework.Directives, fn *ast.FuncDecl, body ast.Node) {
+	pass := sc.pass
+	record := func(e ast.Expr, why string) {
+		if e == nil {
+			return // global writes are reported via the callee fact path below
+		}
+		if sc.exprIsolated(e) {
+			return
+		}
+		base := baseIdent(e)
+		if base == nil {
+			return
+		}
+		if dirs.FuncOrAt(fn, e.Pos(), "workersafe") {
+			return
+		}
+		pass.Reportf(e.Pos(),
+			"speculative goroutine %s shared %s, bypassing the clone-snapshot protocol: confine writes to Clone/Fork/recorder state and apply them at commit (//oc:workersafe waives an audited site)",
+			why, base.Name)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				record(lhs, "writes")
+			}
+		case *ast.IncDecStmt:
+			record(n.X, "updates")
+		case *ast.SendStmt:
+			record(n.Chan, "sends on")
+		case *ast.CallExpr:
+			checkSpawnedCall(sc, dirs, fn, n)
+		}
+		return true
+	})
+}
+
+// checkSpawnedCall judges one call made inside (or as) a goroutine:
+// builtins and atomics that mutate a shared argument, interface event
+// emission to a shared tracer, and fact-carrying module callees given
+// shared state at written positions.
+func checkSpawnedCall(sc *spawnCtx, dirs *framework.Directives, fn *ast.FuncDecl, call *ast.CallExpr) {
+	pass := sc.pass
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if dirs.FuncOrAt(fn, pos, "workersafe") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if (b.Name() == "delete" || b.Name() == "copy" || b.Name() == "clear") && len(call.Args) > 0 && !sc.exprIsolated(call.Args[0]) {
+				reportf(call.Pos(), "speculative goroutine mutates shared %s via %s, bypassing the clone-snapshot protocol", types.ExprString(call.Args[0]), b.Name())
+			}
+			return
+		}
+	}
+	callee := calleeOf(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	recvExpr := func() ast.Expr {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if pkg := callee.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sync":
+			return
+		case "sync/atomic":
+			// Atomic updates are race-free but still arrival-ordered;
+			// shared targets break replay determinism.
+			if name := callee.Name(); len(name) >= 4 && name[:4] == "Load" {
+				return
+			}
+			var target ast.Expr
+			if sig != nil && sig.Recv() != nil {
+				target = recvExpr()
+			} else if len(call.Args) > 0 {
+				target = call.Args[0]
+			}
+			if target != nil && !sc.exprIsolated(target) {
+				reportf(call.Pos(), "speculative goroutine atomically updates shared %s: fold the value into the speculation struct and commit serially", types.ExprString(target))
+			}
+			return
+		}
+	}
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		if callee.Name() == "Emit" {
+			if e := recvExpr(); e != nil && !sc.exprIsolated(e) {
+				reportf(call.Pos(), "speculative goroutine emits events to the shared tracer %s: buffer into a recorder and replay at commit", types.ExprString(e))
+			}
+		}
+		return
+	}
+	if !isModuleFunc(callee, "specwrite") {
+		return
+	}
+	var fact sharedWriteFact
+	if !pass.ImportObjectFact(callee, &fact) {
+		return
+	}
+	if fact.Globals {
+		reportf(call.Pos(), "speculative goroutine calls %s, which %s: package state writes cannot ride a speculation", callee.Name(), fact.Why)
+	}
+	if fact.Recv {
+		if e := recvExpr(); e != nil && !sc.exprIsolated(e) {
+			reportf(call.Pos(), "speculative goroutine calls %s on shared %s, which %s: call it on a Clone/Fork instead", callee.Name(), types.ExprString(e), fact.Why)
+		}
+	}
+	for _, p := range fact.Params {
+		if a := argAt(call, sig, p); a != nil && !sc.exprIsolated(a) {
+			reportf(call.Pos(), "speculative goroutine passes shared %s to %s, which %s: pass isolated Clone/Fork state instead", types.ExprString(a), callee.Name(), fact.Why)
+		}
+	}
+}
+
+// innermostLoop returns the body of the innermost for/range statement
+// containing pos, or nil.
+func innermostLoop(body ast.Node, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var b *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			b = s.Body
+		case *ast.RangeStmt:
+			b = s.Body
+		default:
+			return true
+		}
+		if b.Pos() <= pos && pos <= b.End() {
+			best = b
+		}
+		return true
+	})
+	return best
+}

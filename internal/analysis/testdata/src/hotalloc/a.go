@@ -1,0 +1,88 @@
+// Package hotalloc is the analysistest corpus for the hotalloc
+// analyzer: allocation discipline in //oc:hotpath functions.
+package hotalloc
+
+import (
+	"fmt"
+
+	"overcell/internal/analysis/testdata/src/hotalloc/helper"
+)
+
+type point struct{ x, y int }
+
+type sink interface{ add(any) }
+
+// expand is a hot wave loop with a per-iteration slice literal and an
+// uncapped output slice.
+//
+//oc:hotpath
+func expand(pts []point) []point {
+	var out []point
+	for _, p := range pts {
+		moves := []point{{p.x + 1, p.y}, {p.x, p.y + 1}} // want `slice literal allocates per iteration`
+		for _, m := range moves {
+			out = append(out, m) // want `append to out grows without preallocated capacity`
+		}
+	}
+	return out
+}
+
+// trace formats inside the hot loop.
+//
+//oc:hotpath
+func trace(pts []point) {
+	for i, p := range pts {
+		fmt.Println(i, p) // want `call to fmt.Println allocates`
+	}
+}
+
+// drain boxes a concrete value into an interface per iteration.
+//
+//oc:hotpath
+func drain(s sink, pts []point) {
+	for _, p := range pts {
+		s.add(p) // want `p is boxed into an interface per iteration`
+	}
+}
+
+// scatter allocates a fresh row per iteration.
+//
+//oc:hotpath
+func scatter(pts []point) [][]int {
+	rows := make([][]int, 0, len(pts))
+	for _, p := range pts {
+		row := make([]int, 2) // want `make allocates per iteration`
+		row[0], row[1] = p.x, p.y
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// nodes heap-allocates a composite per iteration.
+//
+//oc:hotpath
+func nodes(pts []point) []*point {
+	out := make([]*point, 0, len(pts))
+	for _, p := range pts {
+		n := &point{p.x, p.y} // want `heap composite .* allocates per iteration`
+		out = append(out, n)
+	}
+	return out
+}
+
+// visitAll builds a closure per iteration.
+//
+//oc:hotpath
+func visitAll(pts []point, visit func(point)) {
+	for _, p := range pts {
+		defer func() { visit(p) }() // want `closure allocates per iteration`
+	}
+}
+
+// gather calls an allocating helper across the package boundary; the
+// fact carries the reason.
+//
+//oc:hotpath
+func gather(grid [][]int) []int {
+	return helper.Flatten(grid) // want `call to Flatten, which grows out without preallocated capacity`
+}

@@ -1,0 +1,21 @@
+// Package helper models an allocation-heavy helper in another module
+// package: its per-call allocations surface as facts at hot callers.
+package helper
+
+// Flatten grows its result without preallocating.
+func Flatten(grid [][]int) []int {
+	var out []int
+	for _, row := range grid {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// Sum is allocation-free and exports no fact.
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package nondeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"overcell/internal/analysis/testdata/src/nondeterm/helper"
+)
+
+// deadline is wall-clock by contract: the waiver names why.
+func deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) //oc:clock-ok deadline budgets are wall-clock by contract
+}
+
+// measure is waived wholesale by a function-level directive.
+//
+//oc:clock-ok measurement helper: durations are reported, never routed on
+func measure(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// clockSource returns the injected clock, defaulting to the annotated
+// wall clock — the injectable-clock idiom.
+func clockSource(injected func() time.Time) func() time.Time {
+	if injected != nil {
+		return injected
+	}
+	return time.Now //oc:clock-ok injectable default; tests pin a fake clock
+}
+
+// seeded draws from an injected, seeded generator.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(3)
+}
+
+// pure helpers without facts stay silent at call sites.
+func widest(a, b int) int {
+	return helper.Pure(a, b)
+}
+
+// emitSorted iterates sorted keys: the canonical deterministic order.
+func emitSorted(tr *tracer, byNet map[int]event) {
+	keys := make([]int, 0, len(byNet))
+	for k := range byNet {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		tr.Emit(byNet[k])
+	}
+}
+
+// tally is a commutative accumulation; iteration order cannot show.
+func tally(sizes map[int]int) int {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	return n
+}
+
+// collectIndexed merges goroutine results in serial index order; the
+// channel only signals completion and binds no value.
+func collectIndexed(jobs []int) []int {
+	out := make([]int, len(jobs))
+	done := make(chan struct{})
+	for i, j := range jobs {
+		go func() {
+			out[i] = j * j
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		<-done
+	}
+	return out
+}

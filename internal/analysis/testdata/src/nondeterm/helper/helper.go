@@ -1,0 +1,21 @@
+// Package helper models a module package outside nondeterm's report
+// scope: its wall-clock reads are not reported here, but become facts
+// that surface at call sites in routing code.
+package helper
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// StampVia reaches the wall clock through a sibling, exercising the
+// intra-package fixpoint.
+func StampVia() int64 { return Stamp() }
+
+// Pure is clock-free and exports no fact.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+// Package specwrite is the analysistest corpus for the specwrite
+// analyzer: the speculate/validate/commit write protocol for parallel
+// routing workers.
+package specwrite
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"overcell/internal/analysis/testdata/src/specwrite/inner"
+)
+
+type event struct{ id int }
+
+type tracer interface {
+	Emit(event)
+}
+
+type grid struct{ cells []int }
+
+// Clone snapshots the grid; workers route against the copy.
+func (g *grid) Clone() *grid {
+	cp := make([]int, len(g.cells))
+	copy(cp, g.cells)
+	return &grid{cells: cp}
+}
+
+// Block writes the receiver; callers inherit the fact.
+func (g *grid) Block(i int) { g.cells[i] = 1 }
+
+type attempt struct {
+	snap *grid
+	hits int
+}
+
+type router struct {
+	g   *grid
+	tr  tracer
+	buf *inner.Buf
+	n   int64
+}
+
+// routeDirect writes the live grid from a worker goroutine.
+func (r *router) routeDirect(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.g.cells[n] = 1 // want `speculative goroutine writes shared r`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeViaMethod reaches the same write through a method's fact.
+func (r *router) routeViaMethod(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.g.Block(n) // want `calls Block on shared r.g, which writes state at`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeEmit streams trace events mid-speculation instead of buffering
+// them for the committer.
+func (r *router) routeEmit(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.tr.Emit(event{id: n}) // want `emits events to the shared tracer r.tr`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeCount bumps a shared counter atomically: race-free, but the
+// value observed mid-run depends on scheduling.
+func (r *router) routeCount(nets []int) {
+	var wg sync.WaitGroup
+	for range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&r.n, 1) // want `atomically updates shared &r.n`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeChan streams results while workers run; arrival order leaks.
+func (r *router) routeChan(nets []int, out chan int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- n // want `speculative goroutine sends on shared out`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeHelper reaches a shared write through a helper in another
+// package: inner.Mark's summary crossed the boundary as a fact.
+func (r *router) routeHelper(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner.Mark(r.buf, n) // want `passes shared r.buf to Mark, which writes state at`
+		}()
+	}
+	wg.Wait()
+}
+
+// routeHelperVia adds one more call-graph hop inside the helper.
+func (r *router) routeHelperVia(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner.MarkVia(r.buf, n) // want `passes shared r.buf to MarkVia, which reaches Mark's writes at`
+		}()
+	}
+	wg.Wait()
+}

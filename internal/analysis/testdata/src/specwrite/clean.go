@@ -1,0 +1,83 @@
+package specwrite
+
+import (
+	"sync"
+
+	"overcell/internal/analysis/testdata/src/specwrite/inner"
+)
+
+// speculate is the sanctioned protocol: a per-attempt snapshot built
+// inside the loop, results written only to per-attempt state, indexed
+// collection, serial merge after Wait.
+func (r *router) speculate(nets []int) []*attempt {
+	specs := make([]*attempt, len(nets))
+	var wg sync.WaitGroup
+	for i := range nets {
+		sp := &attempt{snap: r.g.Clone()}
+		specs[i] = sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.run(sp)
+		}()
+	}
+	wg.Wait()
+	return specs
+}
+
+// run routes one attempt against its isolated snapshot. Its write
+// summary (parameter 0) never meets shared state at a spawn site.
+func (r *router) run(sp *attempt) {
+	sp.snap.Block(0)
+	sp.hits++
+}
+
+// speculateBound passes the attempt as a goroutine parameter instead
+// of capturing it; the binding carries the isolation.
+func (r *router) speculateBound(nets []int) []*attempt {
+	specs := make([]*attempt, len(nets))
+	var wg sync.WaitGroup
+	for i := range nets {
+		sp := &attempt{snap: r.g.Clone()}
+		specs[i] = sp
+		wg.Add(1)
+		go func(a *attempt) {
+			defer wg.Done()
+			a.snap.Block(0)
+			a.hits++
+		}(sp)
+	}
+	wg.Wait()
+	return specs
+}
+
+// speculateInner hands each worker an isolated helper buffer; the
+// helper's write fact lands on owned state and stays silent.
+func (r *router) speculateInner(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		buf := &inner.Buf{Cells: make([]int, len(nets))}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inner.Mark(buf, n)
+		}()
+	}
+	wg.Wait()
+}
+
+// audited publishes progress through an internally synchronized sink;
+// the directive records the audit and silences the check.
+//
+//oc:workersafe progress sink is mutex-guarded and order-insensitive
+func (r *router) audited(nets []int) {
+	var wg sync.WaitGroup
+	for _, n := range nets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.g.Block(n)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,17 @@
+// Package inner models a worker-reachable helper in another module
+// package: its write summaries cross the package boundary as facts, so
+// the spawn-site check in the root package sees through it.
+package inner
+
+// Buf is routing state as seen by the helper.
+type Buf struct{ Cells []int }
+
+// Mark writes through its first parameter.
+func Mark(b *Buf, i int) { b.Cells[i] = 1 }
+
+// MarkVia reaches Mark's write through one more hop, exercising the
+// intra-package fixpoint before export.
+func MarkVia(b *Buf, i int) { Mark(b, i) }
+
+// Peek only reads; it exports no fact.
+func Peek(b *Buf, i int) int { return b.Cells[i] }

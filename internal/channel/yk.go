@@ -83,7 +83,7 @@ func NetMerge(p *Problem) (*Solution, error) {
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for s := range succ[cur] {
+			for _, s := range sortedKeys(succ[cur]) {
 				s = find(s)
 				if s == b {
 					return true
@@ -116,7 +116,7 @@ func NetMerge(p *Problem) (*Solution, error) {
 			if succ[gr] == nil {
 				succ[gr] = map[int]bool{}
 			}
-			for s := range succ[rr] {
+			for _, s := range sortedKeys(succ[rr]) {
 				succ[gr][s] = true
 			}
 			delete(succ, rr)
@@ -161,9 +161,9 @@ func NetMerge(p *Problem) (*Solution, error) {
 	for g := range groups {
 		indeg[g] += 0
 	}
-	for a, ss := range succ {
+	for _, a := range sortedKeys(succ) {
 		ar := find(a)
-		for s := range ss {
+		for _, s := range sortedKeys(succ[a]) {
 			sr := find(s)
 			if ar == sr {
 				continue
@@ -190,13 +190,12 @@ func NetMerge(p *Problem) (*Solution, error) {
 		ready = ready[1:]
 		order = append(order, g)
 		var next []int
-		for s := range out[g] {
+		for _, s := range sortedKeys(out[g]) {
 			indeg[s]--
 			if indeg[s] == 0 {
 				next = append(next, s)
 			}
 		}
-		sort.Ints(next)
 		ready = append(ready, next...)
 	}
 	if len(order) != len(groups) {
@@ -268,4 +267,18 @@ func chain(g int, memo map[int]int, fwd bool, succ map[int]map[int]bool, find fu
 	}
 	memo[g] = best
 	return best
+}
+
+// sortedKeys returns m's keys in increasing order. The merged
+// constraint graph is stored as map-of-sets; every walk over it ranges
+// through this helper so traversal order — and therefore any tie-break
+// the walk feeds — is deterministic by construction rather than by
+// argument about commutativity.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

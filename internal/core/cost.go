@@ -42,6 +42,8 @@ func newCostEvaluator(g *grid.Grid, w Weights) *costEvaluator {
 // pathLength returns the layout-unit length of the new metal the path
 // adds: spans already covered by the current net's own shape cost
 // nothing.
+//
+//oc:hotpath
 func (e *costEvaluator) pathLength(p tig.Path) int {
 	total := 0
 	for i := 1; i < len(p.Points); i++ {
@@ -64,6 +66,8 @@ func (e *costEvaluator) pathLength(p tig.Path) int {
 }
 
 // cornerCost evaluates the three proximity terms at one corner.
+//
+//oc:hotpath
 func (e *costEvaluator) cornerCost(c tig.Point) float64 {
 	w := e.w.Window
 	cols := geom.Iv(c.Col-w, c.Col+w)
@@ -79,6 +83,8 @@ func (e *costEvaluator) cornerCost(c tig.Point) float64 {
 // of Coupling per existing wire point running parallel to the path on
 // the tracks within CouplingDist of each segment (section 3.2's
 // "prevent parallel routing of sensitive nets" extension).
+//
+//oc:hotpath
 func (e *costEvaluator) couplingCost(p tig.Path) float64 {
 	if e.w.Coupling <= 0 {
 		return 0
@@ -104,11 +110,15 @@ func (e *costEvaluator) couplingCost(p tig.Path) float64 {
 }
 
 // base returns the corner-independent cost components.
+//
+//oc:hotpath
 func (e *costEvaluator) base(p tig.Path) float64 {
 	return e.w.WL*float64(e.pathLength(p))/e.normPitch + e.couplingCost(p)
 }
 
 // cost returns the full objective value of a path.
+//
+//oc:hotpath
 func (e *costEvaluator) cost(p tig.Path) float64 {
 	c := e.base(p)
 	for _, corner := range p.CornerPoints() {
@@ -127,6 +137,8 @@ func (e *costEvaluator) cost(p tig.Path) float64 {
 // candidate, which keeps the router deterministic. The third return is
 // the number of candidates the bound abandoned before full evaluation,
 // reported through the obs.EvSelect event.
+//
+//oc:hotpath
 func (e *costEvaluator) selectBest(paths []tig.Path) (tig.Path, float64, int) {
 	best := paths[0]
 	bestCost := e.cost(paths[0])

@@ -68,6 +68,10 @@ type Options struct {
 	// into the level B router (unless Core already carries its own
 	// tracer). Nil disables tracing.
 	Tracer obs.Tracer
+	// Clock supplies the timestamps behind the phase_end DurNS fields.
+	// Nil means the wall clock; tests inject a fixed-step clock to make
+	// phase timings reproducible.
+	Clock func() time.Time
 	// Ctx cancels the run: the routers poll it and return the partial
 	// result with robust.ErrCanceled (or robust.ErrBudgetExhausted when
 	// the context's deadline expired). Nil means context.Background().
@@ -87,6 +91,15 @@ type Options struct {
 	// forces serial routing. Routing results are identical for every
 	// value. Ignored when Core carries its own non-zero Workers.
 	Workers int
+}
+
+// clock returns the injected phase clock, defaulting to the wall
+// clock.
+func (o Options) clock() func() time.Time {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return time.Now //oc:clock-ok injectable default; tests pin a fixed-step clock
 }
 
 // newBudget builds the run's shared budget: Core.Budget when the
@@ -120,16 +133,17 @@ func (o Options) coreConfig(b *robust.Budget) core.Config {
 }
 
 // phase brackets one flow phase with obs events and returns the
-// closure that emits the matching phase_end with the wall time.
-func phase(tr obs.Tracer, name string) func() {
+// closure that emits the matching phase_end with the phase's duration
+// as measured by clock.
+func phase(tr obs.Tracer, clock func() time.Time, name string) func() {
 	t := obs.OrNop(tr)
 	if !t.Enabled() {
 		return func() {}
 	}
 	t.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: name})
-	start := time.Now()
+	start := clock()
 	return func() {
-		t.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: name, DurNS: time.Since(start).Nanoseconds()})
+		t.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: name, DurNS: clock().Sub(start).Nanoseconds()})
 	}
 }
 
@@ -172,7 +186,7 @@ type levelAResult struct {
 }
 
 func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, b *robust.Budget) (*levelAResult, error) {
-	defer phase(opt.Tracer, "level-a")()
+	defer phase(opt.Tracer, opt.clock(), "level-a")()
 	if err := b.Err(); err != nil {
 		return nil, robust.Wrap("level-a", "", err)
 	}
@@ -415,7 +429,7 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 			}
 		}
 	}
-	endB := phase(opt.Tracer, "level-b")
+	endB := phase(opt.Tracer, opt.clock(), "level-b")
 	router := core.New(g, opt.coreConfig(b))
 	cres, sticky := router.Route(nl.Nets())
 	endB()
@@ -441,7 +455,7 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 			BlocksV: o.Mask&grid.MaskV != 0,
 		})
 	}
-	endV := phase(opt.Tracer, "verify")
+	endV := phase(opt.Tracer, opt.clock(), "verify")
 	err = verify.LevelB(cres, regions)
 	endV()
 	if err != nil {

@@ -71,6 +71,12 @@ func RouteBudgeted(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, t
 	return res, ok
 }
 
+// route runs the two-layer breadth-first wave. It is the router's
+// innermost search: every allocation here is paid once per expanded
+// cell, so the wave state lives in preallocated flat slices and the
+// per-cell move set is a stack array.
+//
+//oc:hotpath
 func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust.Budget) (*Result, bool) {
 	// One liveness poll per search; Charge amortises polling over a
 	// stride larger than many whole searches.
@@ -107,7 +113,9 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 		{from.Col, from.Row, grid.LayerH},
 		{from.Col, from.Row, grid.LayerV},
 	}
-	queue := make([]state, 0, len(starts))
+	// The wave can reach every (cell, layer) state once; sizing the
+	// queue for that worst case makes the append below allocation-free.
+	queue := make([]state, 0, 2*w*h)
 	for _, s := range starts {
 		prev[idx(s)] = idx(s) // self-parent marks the roots
 		queue = append(queue, s)
@@ -125,15 +133,15 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 	found := false
 	for qi := 0; qi < len(queue) && !found; qi++ {
 		cur := queue[qi]
-		var moves []state
+		var moves [3]state // stack array: no per-cell allocation
 		if cur.layer == grid.LayerH {
-			moves = []state{
+			moves = [3]state{
 				{cur.col - 1, cur.row, grid.LayerH},
 				{cur.col + 1, cur.row, grid.LayerH},
 				{cur.col, cur.row, grid.LayerV}, // via
 			}
 		} else {
-			moves = []state{
+			moves = [3]state{
 				{cur.col, cur.row - 1, grid.LayerV},
 				{cur.col, cur.row + 1, grid.LayerV},
 				{cur.col, cur.row, grid.LayerH}, // via
@@ -176,6 +184,8 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 
 // backtrace walks the parent pointers from the goal to a root and
 // compresses the cell sequence into corner points.
+//
+//oc:hotpath
 func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
 	unidx := func(i int) state {
 		layer := grid.Layer(i / (w * h))
@@ -186,7 +196,9 @@ func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx f
 			layer: layer,
 		}
 	}
-	var cells []tig.Point
+	// w+h covers every monotone (L- or Z-shaped) path without a regrow;
+	// serpentine paths fall back to append's doubling.
+	cells := make([]tig.Point, 0, w+h)
 	cur := goal
 	for {
 		p := tig.Point{Col: cur.col, Row: cur.row}
@@ -207,7 +219,8 @@ func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx f
 	if len(cells) <= 2 {
 		return tig.Path{Points: cells}
 	}
-	out := []tig.Point{cells[0]}
+	out := make([]tig.Point, 1, len(cells))
+	out[0] = cells[0]
 	for i := 1; i < len(cells)-1; i++ {
 		a := out[len(out)-1]
 		b, c := cells[i], cells[i+1]

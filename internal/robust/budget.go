@@ -82,7 +82,7 @@ func NewBudget(ctx context.Context, l Limits) *Budget {
 	}
 	b.poll.Store(pollStride)
 	if l.Timeout > 0 {
-		if d := time.Now().Add(l.Timeout); b.deadline.IsZero() || d.Before(b.deadline) {
+		if d := time.Now().Add(l.Timeout); b.deadline.IsZero() || d.Before(b.deadline) { //oc:clock-ok timeout budgets are wall-clock by contract
 			b.deadline = d
 		}
 	}
@@ -221,7 +221,7 @@ func (b *Budget) checkLive() error {
 		return b.trip(fmt.Errorf("routing %w", ErrCanceled))
 	default:
 	}
-	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) { //oc:clock-ok deadline checks are wall-clock by contract
 		return b.trip(fmt.Errorf("deadline budget exhausted: %w", ErrBudgetExhausted))
 	}
 	return nil

@@ -312,7 +312,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("run-%d", s.nextID)
 	ru := &run{
 		id: id, flowName: req.Flow, instance: inst.Name,
-		state: StatePending, submitted: time.Now(), heatWin: req.HeatWin,
+		state: StatePending, submitted: time.Now(), heatWin: req.HeatWin, //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
 		cancel: cancel, done: make(chan struct{}),
 		builder:   span.NewBuilder(id, nil),
 		collector: obs.NewCollector(),
@@ -350,7 +350,7 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 	}
 	s.mu.Lock()
 	ru.state = StateRunning
-	ru.started = time.Now()
+	ru.started = time.Now() //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
 	s.mu.Unlock()
 	s.active.Inc()
 	defer s.active.Dec()
@@ -399,7 +399,7 @@ func (s *Server) transition(ru *run, state string, res *flow.Result, err error) 
 	}
 	s.mu.Lock()
 	ru.state = state
-	ru.finished = time.Now()
+	ru.finished = time.Now() //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
 	ru.res = res
 	ru.heat = heat
 	if err != nil {

@@ -115,9 +115,15 @@ func (p Path) Corners() int {
 }
 
 // CornerPoints returns the interior points where the path changes
-// direction.
+// direction. The path selector calls it once per candidate inside its
+// bounding loop, so the result is sized up front.
+//
+//oc:hotpath
 func (p Path) CornerPoints() []Point {
-	var out []Point
+	if len(p.Points) < 3 {
+		return nil
+	}
+	out := make([]Point, 0, len(p.Points)-2)
 	for i := 1; i < len(p.Points)-1; i++ {
 		a, b, c := p.Points[i-1], p.Points[i], p.Points[i+1]
 		vertIn := a.Col == b.Col && a.Row != b.Row
@@ -456,13 +462,21 @@ func (st *search) admit(t Track, level int) bool {
 // reconstruct walks the parent chain of a completing node and builds
 // the full path from source terminal to target terminal, dropping
 // duplicate consecutive points (for example when the last corner
-// coincides with the target).
+// coincides with the target). The chain is measured first so both
+// slices are allocated exactly once.
+//
+//oc:hotpath
 func reconstruct(n *Node, from, to Point) Path {
-	var chain []*Node
+	depth := 0
+	for c := n; c != nil; c = c.Parent {
+		depth++
+	}
+	chain := make([]*Node, 0, depth)
 	for c := n; c != nil; c = c.Parent {
 		chain = append(chain, c)
 	}
-	pts := []Point{from}
+	pts := make([]Point, 1, depth+1) // from + one corner per non-root node + to
+	pts[0] = from
 	for i := len(chain) - 2; i >= 0; i-- { // skip root: its corner is the terminal
 		pts = append(pts, chain[i].Corner())
 	}
