@@ -51,9 +51,11 @@ func TestCommittedBenchFiles(t *testing.T) {
 		// Legacy snapshots (pr2, pr3) predate schema versioning; any
 		// newer snapshot must be versioned and carry host metadata so
 		// benchdiff can tell same-host from cross-host comparisons.
-		switch bf.Schema {
-		case 0: // legacy, host optional
-		case obs.BenchSchemaVersion:
+		// Older versioned snapshots stay committed, so the whole range
+		// 2..current must keep validating.
+		switch {
+		case bf.Schema == 0: // legacy, host optional
+		case bf.Schema >= 2 && bf.Schema <= obs.BenchSchemaVersion:
 			if bf.Host == nil || bf.Host.GOOS == "" || bf.Host.GOARCH == "" ||
 				bf.Host.NumCPU <= 0 || bf.Host.GOMAXPROCS <= 0 {
 				t.Errorf("%s: schema %d snapshot with incomplete host metadata %+v",

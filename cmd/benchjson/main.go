@@ -43,6 +43,7 @@ import (
 	"overcell/internal/metrics"
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/obs/perf"
 	"overcell/internal/robust"
 	"overcell/internal/tig"
 )
@@ -111,10 +112,11 @@ func die(err error) {
 }
 
 // workload is one measured unit: fn runs the work once and returns
-// result metrics to attach to the entry.
+// result metrics (and, for perf-instrumented workloads, the per-phase
+// attribution rows) to attach to the entry.
 type workload struct {
 	name string
-	fn   func() (map[string]float64, error)
+	fn   func() (map[string]float64, []obs.BenchPhase, error)
 }
 
 // measure times a workload runs times, keeping the fastest run's
@@ -127,7 +129,7 @@ func measure(b workload, runs int) (obs.BenchEntry, error) {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now() //oc:clock-ok bench harness measures real wall time by design
-		m, err := b.fn()
+		m, phases, err := b.fn()
 		elapsed := time.Since(start) //oc:clock-ok bench harness measures real wall time by design
 		runtime.ReadMemStats(&after)
 		if err != nil {
@@ -139,6 +141,7 @@ func measure(b workload, runs int) (obs.BenchEntry, error) {
 			entry.BytesPerOp = after.TotalAlloc - before.TotalAlloc
 			entry.AllocsPerOp = after.Mallocs - before.Mallocs
 			entry.Metrics = m
+			entry.Phases = phases
 		}
 	}
 	return entry, nil
@@ -155,14 +158,14 @@ func workloads() []workload {
 		{"ex3", gen.Ex3Like},
 	} {
 		mk := m.mk
-		ws = append(ws, workload{"table2/" + m.name, func() (map[string]float64, error) {
+		ws = append(ws, workload{"table2/" + m.name, func() (map[string]float64, []obs.BenchPhase, error) {
 			base, err := runFlow(mk, flow.TwoLayerBaseline, flow.Options{})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			prop, err := runFlow(mk, flow.Proposed, flow.Options{})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			c := metrics.Comparison{Base: base, New: prop}
 			return map[string]float64{
@@ -170,51 +173,55 @@ func workloads() []workload {
 				"wire-red-pct": c.WireReduction(),
 				"via-red-pct":  c.ViaReduction(),
 				"expanded":     float64(prop.LevelB.Expanded),
-			}, nil
+			}, nil, nil
 		}})
 	}
-	ws = append(ws, workload{"channelfree/ami33", func() (map[string]float64, error) {
+	ws = append(ws, workload{"channelfree/ami33", func() (map[string]float64, []obs.BenchPhase, error) {
 		base, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cf, err := runFlow(gen.Ami33Like, flow.ChannelFree, flow.Options{})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		c := metrics.Comparison{Base: base, New: cf}
 		return map[string]float64{
 			"area-red-pct": c.AreaReduction(),
 			"expanded":     float64(cf.LevelB.Expanded),
-		}, nil
+		}, nil, nil
 	}})
 	// The overhead pair: the same flow with tracing off and with a
 	// collector attached. Comparing the two ns/op values in the JSON is
 	// the standing regression check on observability cost.
-	ws = append(ws, workload{"proposed/ami33/untraced", func() (map[string]float64, error) {
+	ws = append(ws, workload{"proposed/ami33/untraced", func() (map[string]float64, []obs.BenchPhase, error) {
 		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil
+		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil, nil
 	}})
-	ws = append(ws, workload{"proposed/ami33/traced", func() (map[string]float64, error) {
+	// The traced entry doubles as the perf-attributed one: its Phases
+	// break the flow down by level-a/level-b/verify.
+	ws = append(ws, workload{"proposed/ami33/traced", func() (map[string]float64, []obs.BenchPhase, error) {
 		col := obs.NewCollector()
-		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{Tracer: col})
+		pc := perf.New(perf.Options{Run: "proposed/ami33/traced"})
+		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{Tracer: col, Perf: pc})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		pc.Finish()
 		return map[string]float64{
 			"expanded": float64(res.LevelB.Expanded),
 			"events":   float64(col.Events()),
-		}, nil
+		}, pc.Report().BenchPhases(), nil
 	}})
 	// The budget pair: the same flow metered by an active budget whose
 	// limits sit far above the workload's actual work, so every Charge
 	// executes but nothing trips. Comparing its ns/op against
 	// proposed/ami33/untraced is the standing regression check that
 	// budget metering stays under 2% overhead.
-	ws = append(ws, workload{"proposed/ami33/budgeted", func() (map[string]float64, error) {
+	ws = append(ws, workload{"proposed/ami33/budgeted", func() (map[string]float64, []obs.BenchPhase, error) {
 		res, err := runFlow(gen.Ami33Like, flow.Proposed, flow.Options{
 			Limits: robust.Limits{
 				NetExpansions:   1 << 30,
@@ -223,19 +230,19 @@ func workloads() []workload {
 			},
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil
+		return map[string]float64{"expanded": float64(res.LevelB.Expanded)}, nil, nil
 	}})
 	// The parallelism pair: the identical dense level B instance routed
 	// serially and with the speculate/validate/commit driver. The two
 	// entries' ns/op ratio is the headline parallel speedup; their
 	// result metrics (expanded/wire/failed) must match exactly — the
 	// parallel driver is deterministic by construction.
-	ws = append(ws, workload{"levelb/nets100/seq", func() (map[string]float64, error) {
+	ws = append(ws, workload{"levelb/nets100/seq", func() (map[string]float64, []obs.BenchPhase, error) {
 		return levelB(1)
 	}})
-	ws = append(ws, workload{fmt.Sprintf("levelb/nets100/par%d", workersFlag), func() (map[string]float64, error) {
+	ws = append(ws, workload{fmt.Sprintf("levelb/nets100/par%d", workersFlag), func() (map[string]float64, []obs.BenchPhase, error) {
 		return levelB(workersFlag)
 	}})
 	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
@@ -244,11 +251,13 @@ func workloads() []workload {
 
 // levelB routes a dense synthetic instance (96x96 grid, 100
 // two-terminal nets, deterministic LCG placement) straight through
-// internal/core with the given worker count.
-func levelB(workers int) (map[string]float64, error) {
+// internal/core with the given worker count. A perf collector rides
+// along: the parallel entry's Phases carry the speculate/commit
+// allocation split that EXPERIMENTS.md's par-vs-seq attribution cites.
+func levelB(workers int) (map[string]float64, []obs.BenchPhase, error) {
 	g, err := grid.Uniform(96, 96, 10)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nl := netlist.New()
 	seed := uint64(13)
@@ -275,15 +284,21 @@ func levelB(workers int) (map[string]float64, error) {
 	if !guard.Zero() {
 		cfg.Budget = robust.NewBudget(nil, guard)
 	}
+	pc := perf.New(perf.Options{Run: fmt.Sprintf("levelb/nets100/w%d", workers)})
+	pc.SetWorkers(workers)
+	pc.Start()
+	cfg.Perf = pc
+	cfg.Clock = pc.Clock()
 	res, err := core.New(g, cfg).Route(nl.Nets())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	pc.Finish()
 	return map[string]float64{
 		"expanded": float64(res.Expanded),
 		"wire":     float64(res.WireLength),
 		"failed":   float64(res.Failed),
-	}, nil
+	}, pc.Report().BenchPhases(), nil
 }
 
 func runFlow(mk func() (*gen.Instance, error),
@@ -301,10 +316,10 @@ func runFlow(mk func() (*gen.Instance, error),
 // mazeVsTIG mirrors BenchmarkMazeVsTIG: identical two-terminal
 // connections on an obstacle field solved by both searches, comparing
 // nodes expanded per connection.
-func mazeVsTIG() (map[string]float64, error) {
+func mazeVsTIG() (map[string]float64, []obs.BenchPhase, error) {
 	g, err := grid.Uniform(96, 96, 10)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A deterministic obstacle field and connection set (LCG so the
 	// workload never depends on math/rand defaults).
@@ -340,11 +355,11 @@ func mazeVsTIG() (map[string]float64, error) {
 		mazeNodes += mr.Expanded
 	}
 	if solved == 0 {
-		return nil, fmt.Errorf("no connection solved by both searches")
+		return nil, nil, fmt.Errorf("no connection solved by both searches")
 	}
 	return map[string]float64{
 		"connections":     float64(solved),
 		"tig-nodes/conn":  float64(tigNodes) / float64(solved),
 		"maze-nodes/conn": float64(mazeNodes) / float64(solved),
-	}, nil
+	}, nil, nil
 }

@@ -15,7 +15,11 @@
 // escalations, rip-up outcomes, phase times), -heatmap writes the
 // per-window congestion map of the level B grid (SVG when the file
 // ends in .svg, ASCII otherwise), and -cpuprofile/-memprofile write
-// standard pprof profiles.
+// standard pprof profiles. -perf-report writes the performance
+// attribution report (per-phase allocation deltas, speculation
+// pipeline wait times, conflict pairs) as JSON and prints the human
+// table; profiles captured alongside it carry pprof labels (run,
+// phase, worker, net).
 //
 // Robustness: -deadline bounds the run's wall clock, -budget and
 // -total-budget cap search expansions per net and per run, and
@@ -39,6 +43,7 @@ import (
 	"overcell/internal/gen"
 	"overcell/internal/metrics"
 	"overcell/internal/obs"
+	"overcell/internal/obs/perf"
 	"overcell/internal/render"
 	"overcell/internal/robust"
 )
@@ -64,6 +69,7 @@ func run() int {
 	totalBudget := flag.Int64("total-budget", 0, "search-expansion budget for the whole run (0 = unlimited)")
 	partial := flag.Bool("partial", false, "accept runs where some nets degraded under the budget instead of failing")
 	workers := flag.Int("workers", 0, "level B speculative routing workers (0 = GOMAXPROCS, 1 = serial; results identical)")
+	perfReport := flag.String("perf-report", "", "write the perf-attribution report as JSON to this file and print the summary table (- for table only)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -108,6 +114,15 @@ func run() int {
 		AllowPartial: *partial,
 		Workers:      *workers,
 	}
+	var pc *perf.Collector
+	if *perfReport != "" {
+		pc = perf.New(perf.Options{Run: inst.Name})
+		opts.Perf = pc
+		opts.RunID = inst.Name
+	}
+	// Label the run whenever a profile or a perf report is requested, so
+	// captured samples attribute per phase and worker.
+	opts.ProfileLabels = *perfReport != "" || *cpuprofile != "" || *memprofile != ""
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -188,6 +203,22 @@ func run() int {
 	}
 	if collector != nil {
 		fmt.Print(collector.Summary())
+	}
+	if pc != nil {
+		pc.Finish()
+		rep := pc.Report()
+		if *perfReport != "-" {
+			f, err := os.Create(*perfReport)
+			if err != nil {
+				die(err)
+			}
+			defer f.Close()
+			if err := rep.WriteJSON(f); err != nil {
+				die(err)
+			}
+			fmt.Println("wrote", *perfReport)
+		}
+		fmt.Print(rep.Table())
 	}
 	if *heatmap != "" {
 		if res == nil || res.BGrid == nil {

@@ -16,7 +16,9 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"time"
 
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
@@ -143,6 +145,20 @@ type Config struct {
 	// (see DESIGN.md section 13). 0 means GOMAXPROCS; 1 or negative
 	// routes serially.
 	Workers int
+	// Perf receives the speculate/validate/commit pipeline's wait-time
+	// accounting (see PerfObserver). Nil disables the hooks; the serial
+	// path never touches them.
+	Perf PerfObserver
+	// Clock timestamps speculation starts and ends for Perf. It must be
+	// safe for concurrent use (each worker reads it). Nil means the wall
+	// clock; callers wiring a Perf collector should pass its Clock() so
+	// dwell times are measured on one timeline.
+	Clock func() time.Time
+	// LabelCtx, when non-nil, carries pprof labels (run, phase) that the
+	// speculative workers extend with worker and net labels, making CPU
+	// and heap profiles attributable per worker (see DESIGN.md section
+	// 15). Nil spawns workers without profiler labels.
+	LabelCtx context.Context
 }
 
 // Rip-up recovery defaults.
@@ -176,6 +192,18 @@ func (c *Config) workers() int {
 		return 1
 	}
 	return c.Workers
+}
+
+// EffectiveWorkers resolves the Workers knob the way the router will:
+// 0 becomes GOMAXPROCS, negatives become 1. Exposed so callers (flow,
+// the perf collector) can report the count that actually ran.
+func (c *Config) EffectiveWorkers() int { return c.workers() }
+
+func (c *Config) clock() func() time.Time {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return time.Now //oc:clock-ok injectable default; perf callers pass their collector's clock
 }
 
 // DefaultExpansions widen the window gently before falling back to the

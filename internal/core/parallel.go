@@ -35,7 +35,11 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"overcell/internal/geom"
 	"overcell/internal/netlist"
@@ -84,38 +88,50 @@ func readPad(w Weights) int {
 // batchDelta is the set of grid changes applied by the nets already
 // processed in the current batch: each committed or re-run net
 // contributes its shape (blockage + wire overlays) and its terminal
-// points (the terminal overlay flips while a net routes). A
-// speculation is valid iff none of its read windows touch the delta.
+// points (the terminal overlay flips while a net routes), tagged with
+// the net's name so window collisions can be attributed to the pair
+// that collided. A speculation is valid iff none of its read windows
+// touch the delta.
 type batchDelta struct {
-	shapes []*shape
-	terms  [][]tig.Point
+	entries []deltaEntry
 }
 
-func (d *batchDelta) add(sh *shape, terms []tig.Point) {
-	if sh != nil {
-		d.shapes = append(d.shapes, sh)
-	}
-	if len(terms) > 0 {
-		d.terms = append(d.terms, terms)
-	}
+type deltaEntry struct {
+	net   string
+	sh    *shape
+	terms []tig.Point
 }
 
-func (d *batchDelta) touches(w *readWindow) bool {
+func (d *batchDelta) add(net string, sh *shape, terms []tig.Point) {
+	if sh == nil && len(terms) == 0 {
+		return
+	}
+	d.entries = append(d.entries, deltaEntry{net: net, sh: sh, terms: terms})
+}
+
+// collide reports whether any of w's rects touch the delta, and if so
+// the name of the first touching net in commit order. Touch-or-not is
+// a pure disjunction over (rect, entry) pairs, so the verdict — and
+// with it the routed result — is identical to the pre-attribution
+// overlap test; only the returned name is new.
+func (d *batchDelta) collide(w *readWindow) (string, bool) {
+	if w == nil {
+		return "", false
+	}
 	for _, rc := range w.rects {
-		for _, sh := range d.shapes {
-			if sh.intersects(rc.cols, rc.rows) {
-				return true
+		for i := range d.entries {
+			e := &d.entries[i]
+			if e.sh != nil && e.sh.intersects(rc.cols, rc.rows) {
+				return e.net, true
 			}
-		}
-		for _, ts := range d.terms {
-			for _, p := range ts {
+			for _, p := range e.terms {
 				if rc.cols.Contains(p.Col) && rc.rows.Contains(p.Row) {
-					return true
+					return e.net, true
 				}
 			}
 		}
 	}
-	return false
+	return "", false
 }
 
 // recorder buffers trace events emitted during a speculation so the
@@ -133,9 +149,10 @@ func (t *recorder) Emit(e obs.Event) { t.events = append(t.events, e) }
 // speculation is one net's routing attempt against a snapshot, plus
 // everything the committer needs to validate and apply it.
 type speculation struct {
-	net   *netlist.Net
-	terms []tig.Point
-	rank  int
+	net    *netlist.Net
+	terms  []tig.Point
+	rank   int
+	worker int // worker slot index (batch position), for attribution
 
 	nr     *NetRoute
 	sh     *shape
@@ -148,6 +165,13 @@ type speculation struct {
 	// discards the speculation and re-runs the net serially, letting
 	// the run budget trip (or not) exactly as a serial run would.
 	forkErr error
+
+	// Perf accounting, recorded by the worker into its own speculation
+	// (no sharing) and read by the committer after the join. Zero when
+	// no PerfObserver is attached.
+	t0, t1  time.Time
+	cells   int   // snapshot clone size in grid cells
+	charges int64 // budget-fork charge batches
 }
 
 // routeAllSpeculative is the parallel form of the first pass. The
@@ -157,34 +181,70 @@ func (r *Router) routeAllSpeculative(env *routeEnv, ordered []*netlist.Net,
 	termPts map[netlist.NetID][]tig.Point,
 	routes map[netlist.NetID]*NetRoute, shapes map[netlist.NetID]*shape,
 	res *Result, workers int) error {
+	perf := r.cfg.Perf
 	var sticky error
 	for start := 0; start < len(ordered); start += workers {
 		end := geom.Min(start+workers, len(ordered))
 		batch := ordered[start:end]
 		var specs []*speculation
 		if sticky == nil && len(batch) > 1 && env.budget.Err() == nil {
+			if perf != nil {
+				perf.BatchStart("level-b", len(batch), workers)
+			}
 			specs = r.speculate(env, batch, start, termPts)
+			if perf != nil {
+				perf.BatchSpeculated()
+			}
 		}
 		delta := &batchDelta{}
-		conflicts := 0
+		conflicts, committed := 0, 0
 		for bi, net := range batch {
 			if sticky = r.pollSticky(env, sticky); sticky != nil {
+				// Sticky skips never reach the perf hooks: the run is
+				// over, so their speculations go unaccounted (the
+				// other-discards counter would misattribute them).
 				routes[net.ID] = skippedRoute(net, termPts[net.ID], sticky)
 				continue
 			}
+			windowConflict := false
 			if specs != nil {
-				if sp := specs[bi]; sp.nr != nil && sp.forkErr == nil &&
-					!delta.touches(sp.read) && env.budget.CanCommit(sp.used) {
+				sp := specs[bi]
+				conflictWith := ""
+				valid := sp.nr != nil && sp.forkErr == nil
+				if valid {
+					if earlier, hit := delta.collide(sp.read); hit {
+						conflictWith, valid = earlier, false
+					} else if !env.budget.CanCommit(sp.used) {
+						valid = false
+					}
+				}
+				if perf != nil {
+					perf.Spec(sp.worker, net.Name, sp.t0, sp.t1,
+						sp.cells, len(sp.events), sp.used, sp.charges)
+					perf.Validated(net.Name, conflictWith, valid, sp.t1)
+				}
+				if valid {
 					r.commitSpeculation(env, sp, res)
 					routes[net.ID], shapes[net.ID] = sp.nr, sp.sh
-					delta.add(sp.sh, sp.terms)
+					delta.add(net.Name, sp.sh, sp.terms)
+					committed++
+					if perf != nil {
+						perf.Committed(net.Name)
+					}
 					continue
 				}
 				conflicts++
+				windowConflict = conflictWith != ""
 			}
 			nr, sh := r.routeNet(env, net, termPts[net.ID], res, start+bi+1)
 			routes[net.ID], shapes[net.ID] = nr, sh
-			delta.add(sh, termPts[net.ID])
+			delta.add(net.Name, sh, termPts[net.ID])
+			if specs != nil && perf != nil {
+				perf.Rerouted(net.Name, windowConflict)
+			}
+		}
+		if specs != nil && perf != nil {
+			perf.BatchEnd(len(specs), committed, conflicts)
 		}
 		if specs != nil && env.tr.Enabled() {
 			env.tr.Emit(obs.Event{
@@ -197,15 +257,32 @@ func (r *Router) routeAllSpeculative(env *routeEnv, ordered []*netlist.Net,
 }
 
 // speculate routes every net of the batch concurrently against
-// snapshots of the live grid and waits for all attempts.
+// snapshots of the live grid and waits for all attempts. When the
+// config carries a pprof label context, each worker goroutine runs
+// under worker and net labels stacked on the caller's run/phase
+// labels, so CPU and heap profiles attribute per worker (DESIGN.md
+// section 15).
 func (r *Router) speculate(env *routeEnv, batch []*netlist.Net, start int,
 	termPts map[netlist.NetID][]tig.Point) []*speculation {
 	specs := make([]*speculation, len(batch))
 	var wg sync.WaitGroup
 	for bi, net := range batch {
-		sp := &speculation{net: net, terms: termPts[net.ID], rank: start + bi + 1}
+		sp := &speculation{
+			net: net, terms: termPts[net.ID],
+			rank: start + bi + 1, worker: bi,
+		}
 		specs[bi] = sp
 		wg.Add(1)
+		if lctx := r.cfg.LabelCtx; lctx != nil {
+			labels := pprof.Labels("worker", r.workerName(bi), "net", net.Name)
+			go func() {
+				defer wg.Done()
+				pprof.Do(lctx, labels, func(context.Context) {
+					r.runSpeculation(env, sp)
+				})
+			}()
+			continue
+		}
 		go func() {
 			defer wg.Done()
 			r.runSpeculation(env, sp)
@@ -213,6 +290,16 @@ func (r *Router) speculate(env *routeEnv, batch []*netlist.Net, start int,
 	}
 	wg.Wait()
 	return specs
+}
+
+// workerName returns the cached "w<i>" pprof label value, growing the
+// cache as needed. Only the committer goroutine calls it, before the
+// workers spawn.
+func (r *Router) workerName(i int) string {
+	for len(r.workerNames) <= i {
+		r.workerNames = append(r.workerNames, "w"+strconv.Itoa(len(r.workerNames)))
+	}
+	return r.workerNames[i]
 }
 
 // runSpeculation executes one net's routing attempt in isolation: a
@@ -223,6 +310,10 @@ func (r *Router) speculate(env *routeEnv, batch []*netlist.Net, start int,
 // reproduces in the ordinary single-threaded context.
 func (r *Router) runSpeculation(env *routeEnv, sp *speculation) {
 	defer func() { _ = recover() }()
+	perf := r.cfg.Perf != nil
+	if perf {
+		sp.t0 = r.clk()
+	}
 	snap := env.g.Clone()
 	fork := env.budget.Fork()
 	rec := &recorder{live: env.tr.Enabled()}
@@ -239,6 +330,11 @@ func (r *Router) runSpeculation(env *routeEnv, sp *speculation) {
 	sp.used = fork.Used()
 	sp.forkErr = fork.Err()
 	sp.sh = sh
+	if perf {
+		sp.cells = snap.NX() * snap.NY()
+		sp.charges = fork.Charges()
+		sp.t1 = r.clk()
+	}
 	sp.nr = nr // set last: a nil nr marks a speculation that died mid-flight
 }
 

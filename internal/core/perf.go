@@ -1,0 +1,38 @@
+package core
+
+import "time"
+
+// PerfObserver receives the speculate/validate/commit pipeline's
+// wait-time accounting. Every method is invoked from the single
+// committer goroutine that owns the batch — implementations need no
+// locking against the router itself, only against their own concurrent
+// readers. The obs/perf Collector is the canonical implementation; a
+// nil Config.Perf disables the hooks entirely.
+type PerfObserver interface {
+	// BatchStart opens one speculation batch of nets nets over workers
+	// workers, before any worker goroutine is spawned.
+	BatchStart(phase string, nets, workers int)
+	// BatchSpeculated marks the join: every worker in the batch has
+	// finished and the serial commit loop is about to begin.
+	BatchSpeculated()
+	// Spec reports one speculation's private accounting as the
+	// committer reaches it: the worker slot that ran it, its routing
+	// start/end timestamps, the snapshot clone size in grid cells, the
+	// number of trace events it buffered, and its budget fork's
+	// expansion spend and charge-batch count.
+	Spec(worker int, net string, start, end time.Time, cloneCells, bufferedEvents int, budgetUsed, budgetCharges int64)
+	// Validated reports the committer's verdict. committed=false with a
+	// non-empty conflictWith names the earlier net whose committed
+	// geometry invalidated this speculation's dilated read window;
+	// empty conflictWith means a budget or fork-failure discard.
+	// specEnd is the speculation's end timestamp (for queue dwell).
+	Validated(net, conflictWith string, committed bool, specEnd time.Time)
+	// Committed marks one validated speculation replayed onto the live
+	// grid.
+	Committed(net string)
+	// Rerouted marks a discarded speculation's serial re-route done;
+	// windowConflict distinguishes collision re-routes from budget ones.
+	Rerouted(net string, windowConflict bool)
+	// BatchEnd closes the batch with its final tallies.
+	BatchEnd(speculated, committed, conflicts int)
+}

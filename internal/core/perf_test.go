@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"overcell/internal/obs/perf"
+)
+
+// flatCollector builds a perf collector over constant inputs: every
+// duration collapses to zero and every sampler delta to zero, so the
+// report's remaining content is purely event- and hook-derived — the
+// byte-determinism contract under a fixed clock.
+func flatCollector(run string, workers int) *perf.Collector {
+	at := time.Unix(1700000000, 0)
+	c := perf.New(perf.Options{
+		Run:     run,
+		Clock:   func() time.Time { return at },
+		Sampler: func() perf.Sample { return perf.Sample{} },
+		Mem:     func() perf.MemSnap { return perf.MemSnap{} },
+	})
+	c.SetWorkers(workers)
+	return c
+}
+
+// routePerf routes the dense conflict-heavy instance with a perf
+// observer attached and returns the result plus the rendered report
+// bytes.
+func routePerf(t *testing.T, workers int) (*Result, []byte) {
+	t.Helper()
+	g, nl := denseInstance(t)
+	pc := flatCollector(fmt.Sprintf("dense/w%d", workers), workers)
+	pc.Start()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Perf = pc
+	cfg.Clock = pc.Clock()
+	// A live tracer makes the speculations buffer events, so the
+	// buffered-events attribution column has something to count.
+	cfg.Tracer = &recorder{live: true}
+	res, err := New(g, cfg).Route(nl.Nets())
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	pc.Finish()
+	var b bytes.Buffer
+	if err := pc.Report().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return res, b.Bytes()
+}
+
+// TestPerfObserverDeterministicPerWorkerCount runs the dense scenario
+// twice at each worker count under the constant clock/sampler: the two
+// reports must be byte-identical, and attaching the observer must not
+// perturb the routing result (still equal to the serial run).
+func TestPerfObserverDeterministicPerWorkerCount(t *testing.T) {
+	serial, _ := routeTraced(t, denseInstance, 1, nil)
+	for _, w := range []int{1, 2, 4} {
+		r1, b1 := routePerf(t, w)
+		_, b2 := routePerf(t, w)
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("workers=%d: two fixed-clock runs rendered different report bytes:\n%s\n---\n%s", w, b1, b2)
+		}
+		assertResultsEqual(t, fmt.Sprintf("perf-observed workers=%d", w), serial, r1)
+	}
+}
+
+// TestPerfObserverAttribution checks the observer saw the pipeline the
+// equivalence tests prove exists: at workers=4 the dense scenario
+// speculates, commits, and collides, and every collision names an
+// ordered net pair.
+func TestPerfObserverAttribution(t *testing.T) {
+	_, raw := routePerf(t, 4)
+	rep := decodeReport(t, raw)
+	pp := rep.Parallel
+	if pp == nil {
+		t.Fatal("workers=4 dense run produced no parallel stratum")
+	}
+	if pp.Batches == 0 || pp.Speculated == 0 || pp.Committed == 0 {
+		t.Fatalf("pipeline counters empty: %+v", pp)
+	}
+	if pp.WindowConf == 0 {
+		t.Fatal("dense scenario produced no window conflicts — attribution path untested")
+	}
+	if pp.Reroutes != pp.WindowConf+pp.OtherDiscards {
+		t.Errorf("reroutes %d != window %d + other %d", pp.Reroutes, pp.WindowConf, pp.OtherDiscards)
+	}
+	if pp.Speculated != pp.Committed+pp.Reroutes {
+		t.Errorf("speculated %d != committed %d + reroutes %d", pp.Speculated, pp.Committed, pp.Reroutes)
+	}
+	if len(pp.ConflictPairs) == 0 {
+		t.Fatal("window conflicts recorded but no conflict pairs named")
+	}
+	var pairTotal int64
+	for _, cp := range pp.ConflictPairs {
+		if cp.Earlier == "" || cp.Later == "" || cp.Earlier == cp.Later {
+			t.Errorf("malformed conflict pair %+v", cp)
+		}
+		pairTotal += cp.Count
+	}
+	if pairTotal != pp.WindowConf {
+		t.Errorf("conflict pair counts sum to %d, want the %d window conflicts", pairTotal, pp.WindowConf)
+	}
+	if pp.CloneCells == 0 || pp.BufferedEvents == 0 {
+		t.Errorf("speculation totals empty: cells %d events %d", pp.CloneCells, pp.BufferedEvents)
+	}
+	var specTotal int64
+	for _, w := range pp.Workers {
+		specTotal += w.Specs
+	}
+	if specTotal != pp.Speculated {
+		t.Errorf("worker specs sum to %d, want %d", specTotal, pp.Speculated)
+	}
+}
+
+// TestPerfObserverSerialRunHasNoParallelStratum pins the contract that
+// a Workers=1 run reports no speculate/commit pipeline at all.
+func TestPerfObserverSerialRunHasNoParallelStratum(t *testing.T) {
+	_, raw := routePerf(t, 1)
+	if rep := decodeReport(t, raw); rep.Parallel != nil {
+		t.Errorf("serial run reported a parallel stratum: %+v", rep.Parallel)
+	}
+}
+
+func decodeReport(t *testing.T, raw []byte) *perf.Report {
+	t.Helper()
+	var rep perf.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	return &rep
+}

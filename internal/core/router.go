@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"overcell/internal/geom"
 	"overcell/internal/grid"
@@ -70,11 +71,18 @@ type Router struct {
 	g   *grid.Grid
 	cfg Config
 	tr  obs.Tracer
+	// clk timestamps speculation attempts for the perf observer; it is
+	// the injectable Config.Clock (wall clock by default).
+	clk func() time.Time
+	// workerNames caches "w0".."wN" pprof label values so repeated
+	// batches don't re-concatenate them; grown only by the committer
+	// goroutine in speculate.
+	workerNames []string
 }
 
 // New returns a router over g.
 func New(g *grid.Grid, cfg Config) *Router {
-	return &Router{g: g, cfg: cfg, tr: cfg.tracer()}
+	return &Router{g: g, cfg: cfg, tr: cfg.tracer(), clk: cfg.clock()}
 }
 
 // routeEnv is the execution surface one routing attempt runs against.

@@ -22,6 +22,7 @@ package flow
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"overcell/internal/grid"
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/obs/perf"
 	"overcell/internal/robust"
 	"overcell/internal/verify"
 )
@@ -91,6 +93,19 @@ type Options struct {
 	// forces serial routing. Routing results are identical for every
 	// value. Ignored when Core carries its own non-zero Workers.
 	Workers int
+	// Perf attaches a performance-attribution collector to the run: it
+	// joins the tracer chain (phase boundaries trigger runtime samples),
+	// becomes the level B router's PerfObserver, and supplies the shared
+	// timestamp clock. Nil disables attribution at zero cost.
+	Perf *perf.Collector
+	// RunID is the "run" pprof label value when ProfileLabels is on (an
+	// ocserved run id, an instance name).
+	RunID string
+	// ProfileLabels runs each phase under pprof labels (run, phase) and
+	// the speculative workers under additional (worker, net) labels, so
+	// CPU/heap profiles captured during the run are attributable. Off by
+	// default: label upkeep costs a little on every goroutine switch.
+	ProfileLabels bool
 }
 
 // clock returns the injected phase clock, defaulting to the wall
@@ -129,7 +144,47 @@ func (o Options) coreConfig(b *robust.Budget) core.Config {
 	if cfg.Workers == 0 {
 		cfg.Workers = o.Workers
 	}
+	if cfg.Perf == nil && o.Perf != nil {
+		cfg.Perf = o.Perf
+		if cfg.Clock == nil {
+			// Dwell times are "committer reached it" minus "speculation
+			// finished"; both readings must come off one clock.
+			cfg.Clock = o.Perf.Clock()
+		}
+	}
 	return cfg
+}
+
+// prepare wires an attached perf collector into the run: the resolved
+// worker count lands in the report header, the run window opens
+// (Start is idempotent, so flows sharing a collector just widen it),
+// and the collector joins the tracer chain so phase boundaries reach
+// its sampler. Every flow entry point calls it once on its own copy.
+func (o Options) prepare() Options {
+	if o.Perf == nil {
+		return o
+	}
+	cfg := o.coreConfig(nil)
+	o.Perf.SetWorkers(cfg.EffectiveWorkers())
+	o.Perf.Start()
+	o.Tracer = obs.Combine(o.Tracer, o.Perf)
+	return o
+}
+
+// labeled runs fn under pprof labels (run=o.RunID, phase=phase) when
+// ProfileLabels is on, handing fn the labeled context so spawned
+// goroutines can stack further labels on it; with labels off, fn runs
+// with the bare run context.
+func (o Options) labeled(phase string, fn func(context.Context)) {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !o.ProfileLabels {
+		fn(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("run", o.RunID, "phase", phase), fn)
 }
 
 // phase brackets one flow phase with obs events and returns the
@@ -185,8 +240,15 @@ type levelAResult struct {
 	delays []float64
 }
 
-func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, b *robust.Budget) (*levelAResult, error) {
+func routeLevelA(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, b *robust.Budget) (la *levelAResult, err error) {
 	defer phase(opt.Tracer, opt.clock(), "level-a")()
+	opt.labeled("level-a", func(context.Context) {
+		la, err = levelABody(inst, subset, opt, b)
+	})
+	return la, err
+}
+
+func levelABody(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options, b *robust.Budget) (*levelAResult, error) {
 	if err := b.Err(); err != nil {
 		return nil, robust.Wrap("level-a", "", err)
 	}
@@ -280,6 +342,7 @@ func empty(p *channel.Problem) bool {
 // TwoLayerBaseline routes every net in the channels.
 func TwoLayerBaseline(inst *gen.Instance, opt Options) (res *Result, err error) {
 	defer robust.Recover("flow.TwoLayerBaseline", &err)
+	opt = opt.prepare()
 	la, err := routeLevelA(inst, nil, opt, opt.newBudget())
 	if err != nil {
 		return nil, err
@@ -308,6 +371,7 @@ func TwoLayerBaseline(inst *gen.Instance, opt Options) (res *Result, err error) 
 // two-layer routing as an approximation.
 func FourLayerChannel(inst *gen.Instance, opt Options) (res *Result, err error) {
 	defer robust.Recover("flow.FourLayerChannel", &err)
+	opt = opt.prepare()
 	la, err := routeLevelA(inst, nil, opt, opt.newBudget())
 	if err != nil {
 		return nil, err
@@ -339,6 +403,7 @@ func FourLayerChannel(inst *gen.Instance, opt Options) (res *Result, err error) 
 // best-effort answer check the Result even when err is non-nil.
 func Proposed(inst *gen.Instance, opt Options) (res *Result, err error) {
 	defer robust.Recover("flow.Proposed", &err)
+	opt = opt.prepare()
 	inA := opt.Partition
 	if inA == nil {
 		inA = gen.NetSpec.LevelA
@@ -375,6 +440,7 @@ func Proposed(inst *gen.Instance, opt Options) (res *Result, err error) {
 // in level B").
 func ChannelFree(inst *gen.Instance, opt Options) (res *Result, err error) {
 	defer robust.Recover("flow.ChannelFree", &err)
+	opt = opt.prepare()
 	l := inst.Layout
 	sep := make([]int, l.NumChannels())
 	for i := range sep {
@@ -430,8 +496,17 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 		}
 	}
 	endB := phase(opt.Tracer, opt.clock(), "level-b")
-	router := core.New(g, opt.coreConfig(b))
-	cres, sticky := router.Route(nl.Nets())
+	cfg := opt.coreConfig(b)
+	var cres *core.Result
+	var sticky error
+	opt.labeled("level-b", func(lctx context.Context) {
+		if opt.ProfileLabels {
+			// Hand the labeled context to the router so speculative
+			// workers inherit run/phase and stack worker/net on top.
+			cfg.LabelCtx = lctx
+		}
+		cres, sticky = core.New(g, cfg).Route(nl.Nets())
+	})
 	endB()
 	if cres == nil {
 		return nil, sticky // structurally invalid input: no partial result
@@ -456,7 +531,9 @@ func routeLevelB(inst *gen.Instance, subset func(gen.NetSpec) bool, opt Options,
 		})
 	}
 	endV := phase(opt.Tracer, opt.clock(), "verify")
-	err = verify.LevelB(cres, regions)
+	opt.labeled("verify", func(context.Context) {
+		err = verify.LevelB(cres, regions)
+	})
 	endV()
 	if err != nil {
 		return nil, fmt.Errorf("flow: routed result failed verification: %w", err)

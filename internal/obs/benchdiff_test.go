@@ -139,3 +139,41 @@ func TestBenchSchemaValidation(t *testing.T) {
 		t.Errorf("legacy file rejected: %v", err)
 	}
 }
+
+func TestBenchPhasesValidation(t *testing.T) {
+	host := `"host":{"goos":"linux","goarch":"amd64","gomaxprocs":8,"num_cpu":8},`
+	phased := `{"schema":3,"tag":"t","go_version":"go1.22",` + host +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1,` +
+		`"phases":[{"name":"run","ns_per_op":10,"allocs_per_op":5,"bytes_per_op":640},` +
+		`{"name":"level-b","ns_per_op":7,"allocs_per_op":4,"bytes_per_op":512}]}]}`
+	f, err := ReadBench(strings.NewReader(phased))
+	if err != nil {
+		t.Fatalf("schema-3 phased file rejected: %v", err)
+	}
+	if got := f.Benchmarks[0].Phases; len(got) != 2 || got[1].Name != "level-b" || got[1].AllocsPerOp != 4 {
+		t.Errorf("phases decoded as %+v", got)
+	}
+
+	// Phase rows demand schema 3: a schema-2 writer cannot have produced
+	// them, so their presence means a mislabeled file.
+	backdated := `{"schema":2,"tag":"t","go_version":"go1.22",` + host +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1,` +
+		`"phases":[{"name":"run","ns_per_op":10}]}]}`
+	if _, err := ReadBench(strings.NewReader(backdated)); err == nil {
+		t.Error("schema-2 file with phase rows accepted")
+	}
+
+	unnamed := `{"schema":3,"tag":"t","go_version":"go1.22",` + host +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1,` +
+		`"phases":[{"ns_per_op":10}]}]}`
+	if _, err := ReadBench(strings.NewReader(unnamed)); err == nil {
+		t.Error("unnamed phase row accepted")
+	}
+
+	// Schema 3 without phases stays valid — they are optional.
+	bare := `{"schema":3,"tag":"t","go_version":"go1.22",` + host +
+		`"benchmarks":[{"name":"a","runs":1,"ns_per_op":1}]}`
+	if _, err := ReadBench(strings.NewReader(bare)); err != nil {
+		t.Errorf("phase-less schema-3 file rejected: %v", err)
+	}
+}

@@ -17,13 +17,27 @@ type BenchEntry struct {
 	BytesPerOp  uint64             `json:"bytes_per_op"`
 	AllocsPerOp uint64             `json:"allocs_per_op"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Phases breaks the workload's cost down by flow phase (plus the
+	// parallel pipeline's speculate/commit pseudo-phases), as reported
+	// by the perf attribution layer. Schema 3+.
+	Phases []BenchPhase `json:"phases,omitempty"`
+}
+
+// BenchPhase is one phase row of a perf-attributed bench entry: where
+// inside the workload the time and allocations went.
+type BenchPhase struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 // BenchSchemaVersion is the current bench-JSON schema. Files written
 // before versioning carry no "schema" field and validate as legacy;
 // files at version 2 or later must also carry host metadata so
-// cross-machine comparisons can be detected (see cmd/benchdiff).
-const BenchSchemaVersion = 2
+// cross-machine comparisons can be detected (see cmd/benchdiff), and
+// files at version 3 may attach per-phase attribution rows to entries.
+const BenchSchemaVersion = 3
 
 // BenchHost records the machine a snapshot was measured on. Timing
 // deltas between snapshots from different hosts are noise, not
@@ -91,6 +105,15 @@ func ReadBench(r io.Reader) (*BenchFile, error) {
 		if b.Runs <= 0 || b.NsPerOp < 0 {
 			return nil, fmt.Errorf("obs: bench json %q entry %q has invalid runs/timing (%d, %d)",
 				f.Tag, b.Name, b.Runs, b.NsPerOp)
+		}
+		if len(b.Phases) > 0 && f.Schema < 3 {
+			return nil, fmt.Errorf("obs: bench json %q entry %q carries phases but schema %d predates them",
+				f.Tag, b.Name, f.Schema)
+		}
+		for j, p := range b.Phases {
+			if p.Name == "" {
+				return nil, fmt.Errorf("obs: bench json %q entry %q phase %d missing name", f.Tag, b.Name, j)
+			}
 		}
 	}
 	return &f, nil

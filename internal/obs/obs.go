@@ -103,11 +103,11 @@ type Event struct {
 	Victims   int       `json:"victims,omitempty"`
 	Escalated int       `json:"escalated,omitempty"`
 	// Speculated and Conflicts are EvParallel's batch counters.
-	Speculated int `json:"speculated,omitempty"`
-	Conflicts  int `json:"conflicts,omitempty"`
-	Relaxed   bool      `json:"relaxed,omitempty"`
-	Failed    bool      `json:"failed,omitempty"`
-	DurNS     int64     `json:"dur_ns,omitempty"`
+	Speculated int   `json:"speculated,omitempty"`
+	Conflicts  int   `json:"conflicts,omitempty"`
+	Relaxed    bool  `json:"relaxed,omitempty"`
+	Failed     bool  `json:"failed,omitempty"`
+	DurNS      int64 `json:"dur_ns,omitempty"`
 }
 
 // Tracer receives routing events. Implementations must tolerate events

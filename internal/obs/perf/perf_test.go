@@ -1,0 +1,296 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"overcell/internal/obs"
+)
+
+// fakeEnv builds a collector over fully deterministic inputs: a
+// fixed-step clock, a sampler that advances by a constant delta per
+// reading, and a constant MemStats reader.
+type fakeEnv struct {
+	now   time.Time
+	step  time.Duration
+	s     Sample
+	sStep Sample
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		now:  time.Unix(1700000000, 0),
+		step: time.Millisecond,
+		sStep: Sample{
+			Allocs: 100, Bytes: 4096, GCCycles: 0,
+			GCPauseNS: 0, SchedLatNS: 10, Goroutines: 3,
+		},
+	}
+}
+
+func (f *fakeEnv) clock() time.Time {
+	f.now = f.now.Add(f.step)
+	return f.now
+}
+
+func (f *fakeEnv) sampler() Sample {
+	f.s = f.s.Add(f.sStep)
+	return f.s
+}
+
+func (f *fakeEnv) mem() MemSnap {
+	return MemSnap{TotalAllocBytes: 1 << 20, Mallocs: 500, HeapSysBytes: 1 << 22, NumGC: 2, PauseTotalNS: 300}
+}
+
+func (f *fakeEnv) collector(run string) *Collector {
+	return New(Options{Run: run, Clock: f.clock, Sampler: f.sampler, Mem: f.mem})
+}
+
+// drive replays one synthetic run — two phases, then one speculation
+// batch with a commit, a window-conflict re-route, and a budget
+// discard — through both the tracer and observer interfaces.
+func drive(c *Collector) {
+	c.SetWorkers(2)
+	c.Start()
+	c.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: "level-a"})
+	c.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "level-a", DurNS: 5e6})
+	c.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: "level-b"})
+
+	c.BatchStart("level-b", 3, 2)
+	c.BatchSpeculated()
+	t0 := time.Unix(1700000000, 0)
+	c.Spec(0, "n1", t0, t0.Add(time.Millisecond), 900, 12, 40, 2)
+	c.Validated("n1", "", true, t0.Add(time.Millisecond))
+	c.Committed("n1")
+	c.Spec(1, "n2", t0, t0.Add(2*time.Millisecond), 900, 7, 30, 1)
+	c.Validated("n2", "n1", false, t0.Add(2*time.Millisecond))
+	c.Rerouted("n2", true)
+	c.Spec(0, "n3", t0, t0.Add(time.Millisecond), 900, 3, 20, 1)
+	c.Validated("n3", "", false, t0.Add(time.Millisecond))
+	c.Rerouted("n3", false)
+	c.BatchEnd(3, 1, 2)
+
+	c.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "level-b", DurNS: 9e6})
+	c.Finish()
+}
+
+func TestReportDeterministicBytes(t *testing.T) {
+	render := func() []byte {
+		c := newFakeEnv().collector("det")
+		drive(c)
+		var b bytes.Buffer
+		if err := c.Report().WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two identical runs rendered different report bytes:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	c := newFakeEnv().collector("contents")
+	drive(c)
+	r := c.Report()
+
+	if !r.Complete || r.Run != "contents" || r.Workers != 2 {
+		t.Fatalf("header = complete=%v run=%q workers=%d", r.Complete, r.Run, r.Workers)
+	}
+	if r.WallNS <= 0 {
+		t.Errorf("WallNS = %d, want > 0 under the stepping clock", r.WallNS)
+	}
+	if r.Runtime.Allocs == 0 || r.Runtime.Bytes == 0 {
+		t.Errorf("runtime delta empty: %+v", r.Runtime)
+	}
+	if len(r.Phases) != 2 || r.Phases[0].Name != "level-a" || r.Phases[1].Name != "level-b" {
+		t.Fatalf("phases = %+v, want level-a then level-b in first-seen order", r.Phases)
+	}
+	if r.Phases[0].WallNS != 5e6 || r.Phases[1].WallNS != 9e6 {
+		t.Errorf("phase wall = %d/%d, want the event DurNS values 5e6/9e6",
+			r.Phases[0].WallNS, r.Phases[1].WallNS)
+	}
+	// Each closed phase spans exactly two sampler steps (start and end
+	// readings bracket it), so its alloc delta is deterministic too.
+	if r.Phases[0].Allocs == 0 {
+		t.Errorf("phase alloc delta = 0, want > 0 under the stepping sampler")
+	}
+
+	pp := r.Parallel
+	if pp == nil {
+		t.Fatal("Parallel = nil after a driven batch")
+	}
+	if pp.Batches != 1 || pp.Speculated != 3 || pp.Committed != 1 ||
+		pp.WindowConf != 1 || pp.OtherDiscards != 1 || pp.Reroutes != 2 {
+		t.Errorf("pipeline counters = %+v", pp)
+	}
+	if pp.SpecNS != 4e6 {
+		t.Errorf("SpecNS = %d, want 4e6 (1ms + 2ms + 1ms)", pp.SpecNS)
+	}
+	if pp.CloneCells != 2700 || pp.BufferedEvents != 22 ||
+		pp.BudgetUsed != 90 || pp.BudgetCharges != 4 {
+		t.Errorf("spec totals = cells %d events %d used %d charges %d",
+			pp.CloneCells, pp.BufferedEvents, pp.BudgetUsed, pp.BudgetCharges)
+	}
+	if pp.DwellNS <= 0 || pp.ValidateNS <= 0 || pp.CommitNS <= 0 || pp.RerouteNS <= 0 {
+		t.Errorf("committer times = dwell %d validate %d commit %d reroute %d, want all > 0",
+			pp.DwellNS, pp.ValidateNS, pp.CommitNS, pp.RerouteNS)
+	}
+	if len(pp.Workers) != 2 || pp.Workers[0].Specs != 2 || pp.Workers[1].Specs != 1 {
+		t.Fatalf("worker detail = %+v", pp.Workers)
+	}
+	if len(pp.ConflictPairs) != 1 || pp.ConflictPairs[0].Earlier != "n1" ||
+		pp.ConflictPairs[0].Later != "n2" || pp.ConflictPairs[0].Count != 1 {
+		t.Fatalf("conflict pairs = %+v", pp.ConflictPairs)
+	}
+	if pp.ConflictPairs[0].RerouteNS <= 0 {
+		t.Errorf("conflict pair reroute = %d, want > 0", pp.ConflictPairs[0].RerouteNS)
+	}
+}
+
+func TestReportMidRunSnapshot(t *testing.T) {
+	c := newFakeEnv().collector("live")
+	c.Start()
+	c.Emit(obs.Event{Type: obs.EvPhaseStart, Phase: "level-a"})
+	r := c.Report()
+	if r.Complete {
+		t.Error("mid-run report claims Complete")
+	}
+	if r.WallNS <= 0 {
+		t.Errorf("mid-run WallNS = %d, want a live elapsed reading", r.WallNS)
+	}
+	// The snapshot must not close the run: Finish still works.
+	c.Emit(obs.Event{Type: obs.EvPhaseEnd, Phase: "level-a", DurNS: 1e6})
+	c.Finish()
+	if r2 := c.Report(); !r2.Complete || len(r2.Phases) != 1 {
+		t.Errorf("post-finish report = complete=%v phases=%d", r2.Complete, len(r2.Phases))
+	}
+}
+
+func TestConstantInputsCollapseDurations(t *testing.T) {
+	at := time.Unix(42, 0)
+	c := New(Options{
+		Run:     "flat",
+		Clock:   func() time.Time { return at },
+		Sampler: func() Sample { return Sample{} },
+		Mem:     func() MemSnap { return MemSnap{} },
+	})
+	drive(c)
+	r := c.Report()
+	if r.WallNS != 0 || r.Runtime.Allocs != 0 {
+		t.Errorf("constant inputs: wall %d allocs %d, want 0/0", r.WallNS, r.Runtime.Allocs)
+	}
+	// Phase wall survives: it comes from the events, not the clock.
+	if r.Phases[0].WallNS != 5e6 {
+		t.Errorf("phase wall = %d, want the event-carried 5e6", r.Phases[0].WallNS)
+	}
+	if pp := r.Parallel; pp.DwellNS != 0 || pp.ValidateNS != 0 || pp.CommitNS != 0 {
+		t.Errorf("constant clock left committer times: %+v", pp)
+	}
+}
+
+func TestQuick(t *testing.T) {
+	c := newFakeEnv().collector("quick")
+	drive(c)
+	w, spec, conf := c.Quick()
+	if w != 2 || spec != 3 || conf != 2 {
+		t.Errorf("Quick = (%d, %d, %d), want (2, 3, 2)", w, spec, conf)
+	}
+}
+
+func TestBenchPhases(t *testing.T) {
+	c := newFakeEnv().collector("bench")
+	drive(c)
+	rows := c.Report().BenchPhases()
+	want := []string{"run", "level-a", "level-b", "parallel/speculate", "parallel/commit"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, name := range want {
+		if rows[i].Name != name {
+			t.Errorf("row %d = %q, want %q", i, rows[i].Name, name)
+		}
+	}
+	if rows[0].NsPerOp <= 0 || rows[3].AllocsPerOp == 0 {
+		t.Errorf("rows carry no data: run ns %d, speculate allocs %d",
+			rows[0].NsPerOp, rows[3].AllocsPerOp)
+	}
+}
+
+func TestTable(t *testing.T) {
+	c := newFakeEnv().collector("table")
+	drive(c)
+	tab := c.Report().Table()
+	for _, want := range []string{
+		"run=table workers=2 (complete)",
+		"level-a", "level-b",
+		"1 batches, 3 speculated, 1 committed, 1 window conflicts, 1 other discards",
+		"worker w0", "worker w1",
+		"conflict n1 -> n2 x1",
+	} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	c := newFakeEnv().collector("round")
+	drive(c)
+	var b bytes.Buffer
+	if err := c.Report().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Schema != ReportSchema || back.Parallel == nil {
+		t.Errorf("round-tripped report = schema %d parallel %v", back.Schema, back.Parallel)
+	}
+}
+
+func TestRuntimeSamplerSmoke(t *testing.T) {
+	smp := RuntimeSampler()
+	before := smp()
+	// Allocate visibly between readings.
+	waste := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		waste = append(waste, make([]byte, 1024))
+	}
+	_ = waste
+	after := smp()
+	d := after.Sub(before)
+	if after.Allocs < before.Allocs {
+		t.Errorf("alloc counter went backwards: %d -> %d", before.Allocs, after.Allocs)
+	}
+	if d.Bytes == 0 {
+		t.Errorf("no bytes attributed across a 64KiB allocation burst")
+	}
+	if after.Goroutines <= 0 {
+		t.Errorf("goroutine count = %d, want > 0", after.Goroutines)
+	}
+	if ReadMem().Mallocs == 0 {
+		t.Error("ReadMem returned zero Mallocs")
+	}
+}
+
+func TestSampleSubAdd(t *testing.T) {
+	a := Sample{Allocs: 10, Bytes: 100, GCCycles: 1, GCPauseNS: 5, SchedLatNS: 7, Goroutines: 4}
+	b := Sample{Allocs: 25, Bytes: 160, GCCycles: 2, GCPauseNS: 9, SchedLatNS: 8, Goroutines: 6}
+	d := b.Sub(a)
+	if d.Allocs != 15 || d.Bytes != 60 || d.GCCycles != 1 || d.GCPauseNS != 4 || d.SchedLatNS != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if d.Goroutines != 6 {
+		t.Errorf("Sub carried Goroutines %d, want the instantaneous 6", d.Goroutines)
+	}
+	sum := a.Add(d)
+	if sum.Allocs != 25 || sum.Goroutines != 6 {
+		t.Errorf("Add = %+v, want accumulated counters and max goroutines", sum)
+	}
+}

@@ -1,0 +1,344 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"overcell/internal/obs"
+)
+
+// ReportSchema versions the perf-report JSON document.
+const ReportSchema = 1
+
+// Report is one run's performance attribution, rendered from a
+// Collector. Field order and slice orderings are fixed (phases in
+// first-seen order, workers by index, conflict pairs by count then
+// name), so identical inputs marshal to identical bytes.
+type Report struct {
+	Schema  int    `json:"schema"`
+	Run     string `json:"run,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// Complete is false for a mid-run snapshot (Finish not yet called).
+	Complete bool  `json:"complete"`
+	WallNS   int64 `json:"wall_ns"`
+	// Runtime is the whole-run runtime/metrics delta; Mem the
+	// whole-run MemStats delta (HeapSysBytes is the end-of-run level,
+	// not a delta).
+	Runtime        RuntimeDelta    `json:"runtime"`
+	Mem            MemDelta        `json:"mem"`
+	GoroutinesPeak int64           `json:"goroutines_peak"`
+	Phases         []PhaseReport   `json:"phases,omitempty"`
+	Parallel       *ParallelReport `json:"parallel,omitempty"`
+}
+
+// RuntimeDelta is a Sample delta in report form.
+type RuntimeDelta struct {
+	Allocs     uint64 `json:"allocs"`
+	Bytes      uint64 `json:"bytes"`
+	GCCycles   uint64 `json:"gc_cycles"`
+	GCPauseNS  int64  `json:"gc_pause_ns"`
+	SchedLatNS int64  `json:"sched_lat_ns"`
+}
+
+// MemDelta is the run-level MemStats delta.
+type MemDelta struct {
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+	PauseTotalNS    uint64 `json:"pause_total_ns"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+}
+
+// PhaseReport is one flow phase's attribution: wall time from the
+// phase events themselves (flow-clock, worker-count independent),
+// allocation deltas from the collector's sampler.
+type PhaseReport struct {
+	Name      string `json:"name"`
+	Count     int    `json:"count"`
+	WallNS    int64  `json:"wall_ns"`
+	Allocs    uint64 `json:"allocs"`
+	Bytes     uint64 `json:"bytes"`
+	GCCycles  uint64 `json:"gc_cycles"`
+	GCPauseNS int64  `json:"gc_pause_ns"`
+}
+
+// ParallelReport is the speculate/validate/commit pipeline's
+// attribution. SpecAllocs/SpecBytes cover the speculation windows
+// (snapshot clones, forked budgets, buffered tracers, the routing work
+// itself); CommitAllocs/CommitBytes cover the serial validate, commit
+// replay and conflict re-routes.
+type ParallelReport struct {
+	Batches       int   `json:"batches"`
+	Speculated    int64 `json:"speculated"`
+	Committed     int64 `json:"committed"`
+	WindowConf    int64 `json:"window_conflicts"`
+	OtherDiscards int64 `json:"other_discards"`
+	Reroutes      int64 `json:"reroutes"`
+
+	SpecAllocs   uint64 `json:"spec_allocs"`
+	SpecBytes    uint64 `json:"spec_bytes"`
+	CommitAllocs uint64 `json:"commit_allocs"`
+	CommitBytes  uint64 `json:"commit_bytes"`
+
+	// SpecNS sums per-worker speculation routing time; DwellNS is the
+	// total commit-queue dwell (speculation finished to committer
+	// reached it); Validate/Commit/RerouteNS split the committer's own
+	// time.
+	SpecNS     int64 `json:"spec_ns"`
+	DwellNS    int64 `json:"commit_queue_dwell_ns"`
+	ValidateNS int64 `json:"validate_ns"`
+	CommitNS   int64 `json:"commit_ns"`
+	RerouteNS  int64 `json:"reroute_ns"`
+
+	CloneCells     int64 `json:"clone_cells"`
+	BufferedEvents int64 `json:"buffered_events"`
+	BudgetUsed     int64 `json:"budget_used"`
+	BudgetCharges  int64 `json:"budget_charges"`
+
+	Workers       []WorkerReport `json:"worker_detail,omitempty"`
+	ConflictPairs []ConflictPair `json:"conflict_pairs,omitempty"`
+}
+
+// WorkerReport is one speculative worker slot's totals, including the
+// budget charge counters its forks accumulated.
+type WorkerReport struct {
+	Worker         int   `json:"worker"`
+	Specs          int64 `json:"specs"`
+	SpecNS         int64 `json:"spec_ns"`
+	CloneCells     int64 `json:"clone_cells"`
+	BufferedEvents int64 `json:"buffered_events"`
+	BudgetUsed     int64 `json:"budget_used"`
+	BudgetCharges  int64 `json:"budget_charges"`
+}
+
+// ConflictPair records one ordered net pair whose dilated read windows
+// collided: Earlier committed first, invalidating Later's speculation,
+// which then re-routed serially for RerouteNS.
+type ConflictPair struct {
+	Earlier   string `json:"earlier"`
+	Later     string `json:"later"`
+	Count     int64  `json:"count"`
+	RerouteNS int64  `json:"reroute_ns"`
+}
+
+// Report snapshots the collector into a Report. Safe to call at any
+// time, including mid-run from another goroutine; Complete reports
+// whether Finish had been called.
+func (c *Collector) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	endT, endS, endM := c.endT, c.endS, c.endM
+	if !c.finished {
+		endT = c.clock()
+		endS = c.sampler()
+		endM = c.mem()
+	}
+	r := &Report{
+		Schema:         ReportSchema,
+		Run:            c.runID,
+		Workers:        c.workers,
+		Complete:       c.finished,
+		GoroutinesPeak: c.goroPeak,
+	}
+	if c.started {
+		r.WallNS = endT.Sub(c.startT).Nanoseconds()
+		d := endS.Sub(c.startS)
+		r.Runtime = RuntimeDelta{
+			Allocs: d.Allocs, Bytes: d.Bytes, GCCycles: d.GCCycles,
+			GCPauseNS: d.GCPauseNS, SchedLatNS: d.SchedLatNS,
+		}
+		r.Mem = MemDelta{
+			TotalAllocBytes: endM.TotalAllocBytes - c.startM.TotalAllocBytes,
+			Mallocs:         endM.Mallocs - c.startM.Mallocs,
+			NumGC:           endM.NumGC - c.startM.NumGC,
+			PauseTotalNS:    endM.PauseTotalNS - c.startM.PauseTotalNS,
+			HeapSysBytes:    endM.HeapSysBytes,
+		}
+		if g := endS.Goroutines; g > r.GoroutinesPeak {
+			r.GoroutinesPeak = g
+		}
+	}
+	for _, name := range c.phaseOrder {
+		p := c.phases[name]
+		r.Phases = append(r.Phases, PhaseReport{
+			Name: p.name, Count: p.count, WallNS: p.wallNS,
+			Allocs: p.d.Allocs, Bytes: p.d.Bytes,
+			GCCycles: p.d.GCCycles, GCPauseNS: p.d.GCPauseNS,
+		})
+	}
+	if c.batches > 0 {
+		pp := &ParallelReport{
+			Batches:       c.batches,
+			Speculated:    c.speculated,
+			Committed:     c.committedN,
+			WindowConf:    c.windowConf,
+			OtherDiscards: c.otherDiscards,
+			Reroutes:      c.reroutes,
+			SpecAllocs:    c.specDelta.Allocs,
+			SpecBytes:     c.specDelta.Bytes,
+			CommitAllocs:  c.commitDelta.Allocs,
+			CommitBytes:   c.commitDelta.Bytes,
+			DwellNS:       c.dwellNS,
+			ValidateNS:    c.validateNS,
+			CommitNS:      c.commitNS,
+			RerouteNS:     c.rerouteNS,
+		}
+		for i := range c.workerAggs {
+			w := &c.workerAggs[i]
+			if w.specs == 0 {
+				continue
+			}
+			pp.SpecNS += w.specNS
+			pp.CloneCells += w.cloneCells
+			pp.BufferedEvents += w.events
+			pp.BudgetUsed += w.budgetUsed
+			pp.BudgetCharges += w.budgetCharges
+			pp.Workers = append(pp.Workers, WorkerReport{
+				Worker: i, Specs: w.specs, SpecNS: w.specNS,
+				CloneCells: w.cloneCells, BufferedEvents: w.events,
+				BudgetUsed: w.budgetUsed, BudgetCharges: w.budgetCharges,
+			})
+		}
+		keys := make([]pairKey, 0, len(c.pairs))
+		for k := range c.pairs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := c.pairs[keys[i]], c.pairs[keys[j]]
+			if a.count != b.count {
+				return a.count > b.count
+			}
+			if keys[i].earlier != keys[j].earlier {
+				return keys[i].earlier < keys[j].earlier
+			}
+			return keys[i].later < keys[j].later
+		})
+		for _, k := range keys {
+			pa := c.pairs[k]
+			pp.ConflictPairs = append(pp.ConflictPairs, ConflictPair{
+				Earlier: k.earlier, Later: k.later,
+				Count: pa.count, RerouteNS: pa.rerouteNS,
+			})
+		}
+		r.Parallel = pp
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON with a trailing
+// newline. The encoding is deterministic: struct field order plus the
+// fixed slice orderings documented on Report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BenchPhases flattens the report into bench-JSON per-phase rows: one
+// "run" total, one row per flow phase, and the parallel pipeline's
+// speculation and commit windows as pseudo-phases. This is the data
+// behind the levelb seq-vs-par allocation attribution in
+// EXPERIMENTS.md.
+func (r *Report) BenchPhases() []obs.BenchPhase {
+	out := make([]obs.BenchPhase, 0, len(r.Phases)+3)
+	out = append(out, obs.BenchPhase{
+		Name: "run", NsPerOp: r.WallNS,
+		AllocsPerOp: r.Runtime.Allocs, BytesPerOp: r.Runtime.Bytes,
+	})
+	for _, p := range r.Phases {
+		out = append(out, obs.BenchPhase{
+			Name: p.Name, NsPerOp: p.WallNS,
+			AllocsPerOp: p.Allocs, BytesPerOp: p.Bytes,
+		})
+	}
+	if pp := r.Parallel; pp != nil {
+		out = append(out,
+			obs.BenchPhase{
+				Name: "parallel/speculate", NsPerOp: pp.SpecNS,
+				AllocsPerOp: pp.SpecAllocs, BytesPerOp: pp.SpecBytes,
+			},
+			obs.BenchPhase{
+				Name: "parallel/commit", NsPerOp: pp.ValidateNS + pp.CommitNS + pp.RerouteNS,
+				AllocsPerOp: pp.CommitAllocs, BytesPerOp: pp.CommitBytes,
+			})
+	}
+	return out
+}
+
+// Table renders the report as a human-readable text table (cold path;
+// allocation-free rendering is a non-goal here).
+func (r *Report) Table() string {
+	var b strings.Builder
+	state := "complete"
+	if !r.Complete {
+		state = "in progress"
+	}
+	fmt.Fprintf(&b, "perf report: run=%s workers=%d (%s)\n", orDash(r.Run), r.Workers, state)
+	fmt.Fprintf(&b, "  wall %s  allocs %d (%s)  gc %d cycles / %s pause  sched-lat %s  goroutines<=%d\n",
+		ns(r.WallNS), r.Runtime.Allocs, bytesH(r.Runtime.Bytes),
+		r.Runtime.GCCycles, ns(r.Runtime.GCPauseNS), ns(r.Runtime.SchedLatNS), r.GoroutinesPeak)
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "  %-12s %10s %12s %14s %6s\n", "phase", "wall", "allocs", "bytes", "gc")
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, "  %-12s %10s %12d %14s %6d\n",
+				p.Name, ns(p.WallNS), p.Allocs, bytesH(p.Bytes), p.GCCycles)
+		}
+	}
+	if pp := r.Parallel; pp != nil {
+		fmt.Fprintf(&b, "  parallel: %d batches, %d speculated, %d committed, %d window conflicts, %d other discards\n",
+			pp.Batches, pp.Speculated, pp.Committed, pp.WindowConf, pp.OtherDiscards)
+		fmt.Fprintf(&b, "    speculation  %10s  %12d allocs  %14s  (%d cells cloned, %d events buffered)\n",
+			ns(pp.SpecNS), pp.SpecAllocs, bytesH(pp.SpecBytes), pp.CloneCells, pp.BufferedEvents)
+		fmt.Fprintf(&b, "    commit loop  validate %s  commit %s  reroute %s  queue-dwell %s\n",
+			ns(pp.ValidateNS), ns(pp.CommitNS), ns(pp.RerouteNS), ns(pp.DwellNS))
+		fmt.Fprintf(&b, "    budget: %d expansions over %d charge batches via worker forks\n",
+			pp.BudgetUsed, pp.BudgetCharges)
+		for _, w := range pp.Workers {
+			fmt.Fprintf(&b, "    worker w%-3d %5d specs %10s  %10d cells  %8d events  %10d expansions / %d charges\n",
+				w.Worker, w.Specs, ns(w.SpecNS), w.CloneCells, w.BufferedEvents, w.BudgetUsed, w.BudgetCharges)
+		}
+		for i, cp := range pp.ConflictPairs {
+			if i == 8 {
+				fmt.Fprintf(&b, "    ... %d more conflict pairs (full list in the JSON report)\n", len(pp.ConflictPairs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "    conflict %s -> %s x%d (reroute %s)\n",
+				cp.Earlier, cp.Later, cp.Count, ns(cp.RerouteNS))
+		}
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%dns", v)
+}
+
+func bytesH(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", v)
+}

@@ -230,27 +230,52 @@ type NetSummary struct {
 }
 
 // Summary condenses a span tree for the ops endpoint's run listing.
+// The self-time fields are exclusive durations: RunSelfNS is the run
+// span's time not covered by its phase children (flow overhead between
+// phases), and PhaseSelfNS is each phase's time not covered by its net
+// children (ordering, snapshotting, commit bookkeeping).
 type Summary struct {
 	Total       int              `json:"total"`
 	Open        int              `json:"open"`
 	Nets        int              `json:"nets"`
 	FailedNets  int              `json:"failed_nets"`
 	RunNS       int64            `json:"run_ns"`
+	RunSelfNS   int64            `json:"run_self_ns"`
 	PhaseNS     map[string]int64 `json:"phase_ns,omitempty"`
+	PhaseSelfNS map[string]int64 `json:"phase_self_ns,omitempty"`
 	SlowestNets []NetSummary     `json:"slowest_nets,omitempty"`
 }
 
-// Summarise reduces a Snapshot to its Summary: span counts, per-phase
-// wall time, and the top-k slowest net spans (k = 5; ties broken by
-// name for determinism).
+// DefaultTopNets is SummariseTop's default slowest-nets cutoff.
+const DefaultTopNets = 5
+
+// Summarise reduces a Snapshot to its Summary with the default
+// slowest-nets cutoff. See SummariseTop.
 func Summarise(spans []Span) Summary {
-	const topK = 5
+	return SummariseTop(spans, DefaultTopNets)
+}
+
+// SummariseTop reduces a Snapshot to its Summary: span counts,
+// per-phase wall and self time, and the topNets slowest net spans
+// (ties broken by name for determinism; topNets <= 0 means
+// DefaultTopNets).
+func SummariseTop(spans []Span, topNets int) Summary {
+	if topNets <= 0 {
+		topNets = DefaultTopNets
+	}
 	sum := Summary{PhaseNS: map[string]int64{}}
+	// childNS accumulates closed-child duration per parent span ID, for
+	// the self-time (exclusive) figures.
+	childNS := map[string]int64{}
+	phaseSelf := map[string]int64{}
 	var nets []NetSummary
 	for _, s := range spans {
 		sum.Total++
 		if s.End.IsZero() {
 			sum.Open++
+		}
+		if s.Parent != "" {
+			childNS[s.Parent] += s.Duration().Nanoseconds()
 		}
 		switch s.Kind {
 		case KindRun:
@@ -268,18 +293,39 @@ func Summarise(spans []Span) Summary {
 			})
 		}
 	}
+	// Second pass: subtract each span's accumulated child time from its
+	// own duration (clamped at zero — open children report 0 duration,
+	// never negative self time).
+	for _, s := range spans {
+		switch s.Kind {
+		case KindRun:
+			sum.RunSelfNS = clampNS(s.Duration().Nanoseconds() - childNS[s.ID])
+		case KindPhase:
+			phaseSelf[s.Name] += clampNS(s.Duration().Nanoseconds() - childNS[s.ID])
+		}
+	}
 	sort.Slice(nets, func(i, j int) bool {
 		if nets[i].DurNS != nets[j].DurNS {
 			return nets[i].DurNS > nets[j].DurNS
 		}
 		return nets[i].Name < nets[j].Name
 	})
-	if len(nets) > topK {
-		nets = nets[:topK]
+	if len(nets) > topNets {
+		nets = nets[:topNets]
 	}
 	sum.SlowestNets = nets
 	if len(sum.PhaseNS) == 0 {
 		sum.PhaseNS = nil
 	}
+	if len(phaseSelf) > 0 {
+		sum.PhaseSelfNS = phaseSelf
+	}
 	return sum
+}
+
+func clampNS(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }

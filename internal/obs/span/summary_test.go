@@ -1,0 +1,112 @@
+package span
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a closed span with millisecond bounds relative to a
+// fixed origin.
+func mkSpan(id, parent string, kind Kind, name string, startMS, endMS int) Span {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: t0.Add(time.Duration(startMS) * time.Millisecond)}
+	if endMS >= 0 {
+		s.End = t0.Add(time.Duration(endMS) * time.Millisecond)
+	}
+	return s
+}
+
+// TestSelfTime pins the exclusive-duration math: a span's self time is
+// its duration minus its closed children's durations.
+func TestSelfTime(t *testing.T) {
+	spans := []Span{
+		mkSpan("r", "", KindRun, "r", 0, 100),
+		mkSpan("r.1", "r", KindPhase, "level-b", 10, 90),
+		mkSpan("r.2", "r.1", KindNet, "n1", 20, 30),
+		mkSpan("r.3", "r.1", KindNet, "n2", 40, 70),
+	}
+	sum := Summarise(spans)
+	ms := int64(time.Millisecond)
+	if sum.RunNS != 100*ms {
+		t.Errorf("RunNS = %d, want 100ms", sum.RunNS)
+	}
+	// Run self = 100ms - the phase's 80ms.
+	if sum.RunSelfNS != 20*ms {
+		t.Errorf("RunSelfNS = %d, want 20ms", sum.RunSelfNS)
+	}
+	// Phase self = 80ms - (10ms + 30ms) of nets.
+	if sum.PhaseSelfNS["level-b"] != 40*ms {
+		t.Errorf("PhaseSelfNS = %v, want level-b: 40ms", sum.PhaseSelfNS)
+	}
+}
+
+// TestSelfTimeClampsOpenAndOverrunningChildren: open children count 0
+// toward their parent, and accounting noise can never drive self time
+// negative.
+func TestSelfTimeClampsOpenAndOverrunningChildren(t *testing.T) {
+	spans := []Span{
+		mkSpan("r", "", KindRun, "r", 0, 10),
+		// Open phase: duration 0, contributes nothing to the run.
+		mkSpan("r.1", "r", KindPhase, "open-phase", 2, -1),
+		// Closed phase longer than the whole run (clock skew scenario).
+		mkSpan("r.2", "r", KindPhase, "long", 0, 50),
+	}
+	sum := Summarise(spans)
+	if sum.Open != 1 {
+		t.Errorf("Open = %d, want 1", sum.Open)
+	}
+	if sum.RunSelfNS != 0 {
+		t.Errorf("RunSelfNS = %d, want clamped 0 (child outlasted parent)", sum.RunSelfNS)
+	}
+	if sum.PhaseSelfNS["open-phase"] != 0 {
+		t.Errorf("open phase self = %d, want 0", sum.PhaseSelfNS["open-phase"])
+	}
+}
+
+// TestSummariseTopCutoff exercises the parameterised slowest-nets
+// cutoff and its default.
+func TestSummariseTopCutoff(t *testing.T) {
+	spans := []Span{mkSpan("r", "", KindRun, "r", 0, 100)}
+	// Seven nets with durations 1..7ms; n3b ties n3.
+	for i := 1; i <= 7; i++ {
+		spans = append(spans, mkSpan(fmt.Sprintf("r.%d", i), "r", KindNet, fmt.Sprintf("n%d", i), 0, i))
+	}
+	spans = append(spans, mkSpan("r.8", "r", KindNet, "n3b", 0, 3))
+
+	got := SummariseTop(spans, 3)
+	if len(got.SlowestNets) != 3 {
+		t.Fatalf("top 3 returned %d nets", len(got.SlowestNets))
+	}
+	for i, want := range []string{"n7", "n6", "n5"} {
+		if got.SlowestNets[i].Name != want {
+			t.Errorf("slowest[%d] = %s, want %s", i, got.SlowestNets[i].Name, want)
+		}
+	}
+
+	// Default cutoff via Summarise and via the <=0 fallback.
+	if d := Summarise(spans); len(d.SlowestNets) != DefaultTopNets {
+		t.Errorf("default cutoff kept %d nets, want %d", len(d.SlowestNets), DefaultTopNets)
+	}
+	if d := SummariseTop(spans, -1); len(d.SlowestNets) != DefaultTopNets {
+		t.Errorf("topNets=-1 kept %d nets, want the default %d", len(d.SlowestNets), DefaultTopNets)
+	}
+
+	// Ties break by name: n3 sorts before n3b at equal duration.
+	all := SummariseTop(spans, 100)
+	if len(all.SlowestNets) != 8 {
+		t.Fatalf("uncapped returned %d nets", len(all.SlowestNets))
+	}
+	var i3, i3b int
+	for i, n := range all.SlowestNets {
+		switch n.Name {
+		case "n3":
+			i3 = i
+		case "n3b":
+			i3b = i
+		}
+	}
+	if i3 > i3b {
+		t.Errorf("tie order: n3 at %d after n3b at %d", i3, i3b)
+	}
+}

@@ -61,6 +61,7 @@ type Budget struct {
 	totalMax int64
 	net      atomic.Int64 // expansions charged since BeginNet
 	total    atomic.Int64 // expansions charged since NewBudget
+	charges  atomic.Int64 // Charge calls accepted (reservation batches)
 	poll     atomic.Int64 // countdown to the next liveness poll
 	sticky   atomic.Pointer[error]
 }
@@ -141,6 +142,7 @@ func (b *Budget) Charge(n int) error {
 		return *p
 	}
 	nn := int64(n)
+	b.charges.Add(1)
 	net := b.net.Add(nn)
 	total := b.total.Add(nn)
 	if b.totalMax > 0 && total > b.totalMax {
@@ -241,4 +243,17 @@ func (b *Budget) NetUsed() int64 {
 		return 0
 	}
 	return b.net.Load()
+}
+
+// Charges returns the number of Charge calls accepted past the sticky
+// gate — the budget's reservation-batch traffic. The perf attribution
+// layer reads it off each speculative fork as a contention proxy: one
+// charge is one atomic add on the shared-budget path, so fork charge
+// counts bound what the workers would otherwise have inflicted on one
+// shared budget.
+func (b *Budget) Charges() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.charges.Load()
 }

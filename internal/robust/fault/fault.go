@@ -145,8 +145,8 @@ func Base(seed int64) (*gen.Instance, *rand.Rand, error) {
 	rng := rand.New(rand.NewSource(seed))
 	p := gen.Params{
 		Name: fmt.Sprintf("fault%d", seed), Seed: rng.Int63(),
-		Rows:  2 + rng.Intn(3),
-		Cells: 4 + rng.Intn(12),
+		Rows:     2 + rng.Intn(3),
+		Cells:    4 + rng.Intn(12),
 		CellWMin: 80 + rng.Intn(120), CellWMax: 240 + rng.Intn(200),
 		CellHMin: 60 + rng.Intn(80), CellHMax: 160 + rng.Intn(120),
 		RowGap: rng.Intn(96), Margin: rng.Intn(64),

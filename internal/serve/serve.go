@@ -10,6 +10,7 @@
 //	GET  /runs                 JSON list of runs, newest first
 //	GET  /runs/{id}            one run: state, result, span summary
 //	GET  /runs/{id}/heatmap.svg  congestion heatmap of a finished run
+//	GET  /runs/{id}/perf       perf-attribution report (live snapshot mid-run)
 //	DELETE /runs/{id}          cancel an active run
 //	GET  /debug/pprof/*        standard pprof handlers
 //
@@ -25,10 +26,14 @@
 // MaxPending caps the queue behind it, and a full queue rejects
 // further submissions with 503.
 //
-// Every run feeds three tracers at once via obs.Combine: the shared
-// goroutine-safe metrics registry adapter (live /metrics counters),
-// a per-run span.Builder (the run → phase → net trace), and a per-run
-// obs.Collector (the aggregate summary shown in the run detail).
+// Every run feeds four observers at once: the shared goroutine-safe
+// metrics registry adapter (live /metrics counters), a per-run
+// span.Builder (the run → phase → net trace), a per-run obs.Collector
+// (the aggregate summary shown in the run detail), and a per-run
+// perf.Collector (the /runs/{id}/perf attribution report, folded into
+// the cumulative ocroute_perf_* families when the run finishes). Runs
+// execute under pprof labels (run, phase, worker, net), so profiles
+// captured via /debug/pprof while a job routes are attributable.
 package serve
 
 import (
@@ -47,6 +52,7 @@ import (
 	"overcell/internal/gen"
 	"overcell/internal/obs"
 	"overcell/internal/obs/metrics"
+	"overcell/internal/obs/perf"
 	"overcell/internal/obs/span"
 	"overcell/internal/render"
 	"overcell/internal/robust"
@@ -101,6 +107,19 @@ type Server struct {
 	rejected *metrics.Counter
 	httpReqs *metrics.Counter
 
+	// ocroute_perf_* families: cumulative perf-report attribution
+	// folded in as each run finishes. Pre-registered so the families
+	// appear in /metrics before the first run completes.
+	perfPhaseWall   map[string]*metrics.Counter
+	perfPhaseAllocs map[string]*metrics.Counter
+	perfSpecAllocs  *metrics.Counter
+	perfCommAllocs  *metrics.Counter
+	perfDwellNS     *metrics.Counter
+	perfValidateNS  *metrics.Counter
+	perfCommitNS    *metrics.Counter
+	perfRerouteNS   *metrics.Counter
+	perfWindowConf  *metrics.Counter
+
 	mu     sync.Mutex
 	runs   map[string]*run
 	order  []string // submission order, oldest first
@@ -120,6 +139,7 @@ type run struct {
 	done      chan struct{}
 	builder   *span.Builder
 	collector *obs.Collector
+	perf      *perf.Collector
 
 	res  *flow.Result
 	heat *obs.Heatmap
@@ -163,6 +183,28 @@ func New(cfg Config) *Server {
 		s.finished[st] = reg.Counter("ocserved_runs_finished_total",
 			"Routing runs finished, by final state.", metrics.L("state", st))
 	}
+	s.perfPhaseWall = make(map[string]*metrics.Counter)
+	s.perfPhaseAllocs = make(map[string]*metrics.Counter)
+	for _, ph := range []string{"level-a", "level-b", "verify"} {
+		s.perfPhaseWall[ph] = reg.Counter("ocroute_perf_phase_wall_ns_total",
+			"Wall time attributed to each flow phase by the perf layer.", metrics.L("phase", ph))
+		s.perfPhaseAllocs[ph] = reg.Counter("ocroute_perf_phase_allocs_total",
+			"Heap allocations attributed to each flow phase by the perf layer.", metrics.L("phase", ph))
+	}
+	s.perfSpecAllocs = reg.Counter("ocroute_perf_speculation_allocs_total",
+		"Heap allocations inside parallel speculation windows (clones, forks, buffered tracers, routing).")
+	s.perfCommAllocs = reg.Counter("ocroute_perf_commit_allocs_total",
+		"Heap allocations inside the serial validate/commit/re-route windows.")
+	s.perfDwellNS = reg.Counter("ocroute_perf_commit_queue_dwell_ns_total",
+		"Total time finished speculations waited for the serial committer.")
+	s.perfValidateNS = reg.Counter("ocroute_perf_validate_ns_total",
+		"Committer time spent validating speculative read windows.")
+	s.perfCommitNS = reg.Counter("ocroute_perf_commit_ns_total",
+		"Committer time spent replaying validated speculations onto the live grid.")
+	s.perfRerouteNS = reg.Counter("ocroute_perf_reroute_ns_total",
+		"Committer time spent serially re-routing discarded speculations.")
+	s.perfWindowConf = reg.Counter("ocroute_perf_window_conflicts_total",
+		"Speculations discarded because an earlier commit touched their dilated read window.")
 	s.routes()
 	return s
 }
@@ -187,6 +229,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /runs/{id}/heatmap.svg", s.handleHeatmap)
+	s.mux.HandleFunc("GET /runs/{id}/perf", s.handlePerf)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -316,6 +359,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel: cancel, done: make(chan struct{}),
 		builder:   span.NewBuilder(id, nil),
 		collector: obs.NewCollector(),
+		perf:      perf.New(perf.Options{Run: id}),
 	}
 	s.runs[id] = ru
 	s.order = append(s.order, id)
@@ -365,12 +409,19 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 		},
 		AllowPartial: req.Partial,
 		Workers:      req.Workers,
+		// Performance attribution: per-run collector, pprof labels so
+		// /debug/pprof profiles captured during the run attribute per
+		// phase and worker.
+		Perf:          ru.perf,
+		RunID:         ru.id,
+		ProfileLabels: true,
 	}
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.Workers
 	}
 	res, err := fn(inst, opts)
 	ru.builder.Finish()
+	ru.perf.Finish()
 
 	state := StateDone
 	switch {
@@ -408,6 +459,41 @@ func (s *Server) transition(ru *run, state string, res *flow.Result, err error) 
 	s.mu.Unlock()
 	if c, ok := s.finished[state]; ok {
 		c.Inc()
+	}
+	s.foldPerf(ru.perf.Report())
+}
+
+// foldPerf accumulates one finished run's perf report into the
+// cumulative ocroute_perf_* families. Phases outside the pre-registered
+// vocabulary register their series on first use; s.mu guards the
+// family maps against concurrently finishing runs.
+func (s *Server) foldPerf(rep *perf.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range rep.Phases {
+		wall, ok := s.perfPhaseWall[p.Name]
+		if !ok {
+			wall = s.reg.Counter("ocroute_perf_phase_wall_ns_total",
+				"Wall time attributed to each flow phase by the perf layer.", metrics.L("phase", p.Name))
+			s.perfPhaseWall[p.Name] = wall
+		}
+		allocs, ok := s.perfPhaseAllocs[p.Name]
+		if !ok {
+			allocs = s.reg.Counter("ocroute_perf_phase_allocs_total",
+				"Heap allocations attributed to each flow phase by the perf layer.", metrics.L("phase", p.Name))
+			s.perfPhaseAllocs[p.Name] = allocs
+		}
+		wall.Add(p.WallNS)
+		allocs.Add(int64(p.Allocs))
+	}
+	if pp := rep.Parallel; pp != nil {
+		s.perfSpecAllocs.Add(int64(pp.SpecAllocs))
+		s.perfCommAllocs.Add(int64(pp.CommitAllocs))
+		s.perfDwellNS.Add(pp.DwellNS)
+		s.perfValidateNS.Add(pp.ValidateNS)
+		s.perfCommitNS.Add(pp.CommitNS)
+		s.perfRerouteNS.Add(pp.RerouteNS)
+		s.perfWindowConf.Add(pp.WindowConf)
 	}
 }
 
@@ -459,16 +545,26 @@ type RunResult struct {
 
 // RunStatus is the JSON view of one run.
 type RunStatus struct {
-	ID        string        `json:"id"`
-	State     string        `json:"state"`
-	Flow      string        `json:"flow"`
-	Instance  string        `json:"instance,omitempty"`
-	Submitted time.Time     `json:"submitted"`
-	Started   *time.Time    `json:"started,omitempty"`
-	Finished  *time.Time    `json:"finished,omitempty"`
-	Error     string        `json:"error,omitempty"`
-	Result    *RunResult    `json:"result,omitempty"`
-	Spans     *span.Summary `json:"spans,omitempty"`
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Flow      string     `json:"flow"`
+	Instance  string     `json:"instance,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// DurationMS is the elapsed routing time: started to finished, or
+	// started to now for a run still going. 0 while pending.
+	DurationMS int64 `json:"duration_ms,omitempty"`
+	// Workers is the resolved speculative worker count; Speculations
+	// and Conflicts are the parallel pipeline's running totals. They
+	// let an operator spot pathological runs (huge conflict ratios,
+	// unexpected serial fallbacks) straight from the list view.
+	Workers      int           `json:"workers,omitempty"`
+	Speculations int64         `json:"speculations,omitempty"`
+	Conflicts    int64         `json:"conflicts,omitempty"`
+	Result       *RunResult    `json:"result,omitempty"`
+	Spans        *span.Summary `json:"spans,omitempty"`
 	// Summary is the per-run collector report (detail view only).
 	Summary string `json:"summary,omitempty"`
 	// SpanTree is the full span list (detail view with ?spans=1).
@@ -486,6 +582,11 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 	if !ru.started.IsZero() {
 		t := ru.started
 		st.Started = &t
+		end := ru.finished
+		if end.IsZero() {
+			end = time.Now() //oc:clock-ok live elapsed time shown in the ops list
+		}
+		st.DurationMS = end.Sub(t).Milliseconds()
 	}
 	if !ru.finished.IsZero() {
 		t := ru.finished
@@ -493,6 +594,7 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 	}
 	res := ru.res
 	s.mu.Unlock()
+	st.Workers, st.Speculations, st.Conflicts = ru.perf.Quick()
 	if res != nil {
 		rr := &RunResult{
 			Flow: res.Flow, Area: res.Area, Width: res.Width, Height: res.Height,
@@ -553,6 +655,20 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, st)
+}
+
+// handlePerf serves the run's perf-attribution report. It works
+// mid-run too: the report is a live snapshot with "complete": false
+// until the run finishes.
+func (s *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
+	ru := s.lookup(w, r)
+	if ru == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := ru.perf.Report().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
