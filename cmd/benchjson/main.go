@@ -27,9 +27,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -45,6 +50,8 @@ import (
 	"overcell/internal/obs"
 	"overcell/internal/obs/perf"
 	"overcell/internal/robust"
+	"overcell/internal/serve"
+	"overcell/internal/serve/journal"
 	"overcell/internal/tig"
 )
 
@@ -245,8 +252,78 @@ func workloads() []workload {
 	ws = append(ws, workload{fmt.Sprintf("levelb/nets100/par%d", workersFlag), func() (map[string]float64, []obs.BenchPhase, error) {
 		return levelB(workersFlag)
 	}})
+	// The durability pair: the identical burst of accepted-and-waited
+	// runs through an in-process ocserved with the lifecycle journal
+	// off and on (SyncAlways, the production default). The ns/op delta
+	// divided by the "runs" metric is the journal's per-run cost —
+	// three fsynced appends (accepted, started, finished) — the number
+	// the README's fsync trade-off note cites.
+	ws = append(ws, workload{"serve/journal/off", func() (map[string]float64, []obs.BenchPhase, error) {
+		return serveRuns("")
+	}})
+	ws = append(ws, workload{"serve/journal/on", func() (map[string]float64, []obs.BenchPhase, error) {
+		dir, err := os.MkdirTemp("", "ocbench-journal")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		return serveRuns(dir)
+	}})
 	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
 	return ws
+}
+
+// serveRunsCount is the submission burst each serve/journal entry
+// pushes through the server; the per-run journal cost is the pair's
+// ns/op delta divided by this.
+const serveRunsCount = 24
+
+// serveRuns boots an in-process ocserved (journaled when dir is
+// non-empty), submits serveRunsCount waited runs of a tiny instance
+// over real HTTP, and verifies every one finishes done.
+func serveRuns(dir string) (map[string]float64, []obs.BenchPhase, error) {
+	inst, err := gen.Generate(gen.Params{
+		Name: "tiny", Seed: 7,
+		Rows: 2, Cells: 6,
+		CellWMin: 240, CellWMax: 420, CellHMin: 140, CellHMax: 220,
+		RowGap: 64, Margin: 48,
+		SignalNets: 10, LevelANets: []int{3},
+		RailHalfWidth: 6,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var payload bytes.Buffer
+	if err := inst.WriteJSON(&payload); err != nil {
+		return nil, nil, err
+	}
+	cfg := serve.Config{MaxRuns: 1, KeepRuns: serveRunsCount + 1}
+	if dir != "" {
+		j, _, err := journal.Open(filepath.Join(dir, "wal.ndjson"), journal.Options{Sync: journal.SyncAlways})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer j.Close()
+		cfg.Journal = j
+	}
+	ts := httptest.NewServer(serve.New(cfg).Handler())
+	defer ts.Close()
+	for i := 0; i < serveRunsCount; i++ {
+		resp, err := http.Post(ts.URL+"/runs?flow=baseline&wait=1", "application/json",
+			bytes.NewReader(payload.Bytes()))
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != 200 || !bytes.Contains(body, []byte(`"state": "done"`)) {
+			return nil, nil, fmt.Errorf("run %d = %d %.120s", i, resp.StatusCode, body)
+		}
+	}
+	return map[string]float64{"runs": serveRunsCount}, nil, nil
 }
 
 // levelB routes a dense synthetic instance (96x96 grid, 100

@@ -5,6 +5,7 @@
 //
 //	ocserved -addr :8344
 //	ocserved -addr 127.0.0.1:0 -max-runs 4   # ephemeral port, printed
+//	ocserved -journal /var/lib/ocroute       # crash-safe run lifecycle
 //
 //	# submit a job and wait for it:
 //	benchgen -name ami33 | curl -s --data-binary @- \
@@ -15,8 +16,23 @@
 //
 // The listen address is printed once the socket is bound ("listening
 // on http://HOST:PORT"), so scripts can use port 0 and scrape the
-// actual port from stdout. SIGINT/SIGTERM cancel all active runs and
-// shut the server down gracefully.
+// actual port from stdout.
+//
+// With -journal DIR every run lifecycle transition is appended to
+// DIR/wal.ndjson; on the next start the journal is replayed — finished
+// runs reappear under /runs with their result hashes, and runs that
+// were pending or in flight when the process died are requeued and
+// re-executed (the router is deterministic, so the recovered results
+// are byte-identical). -journal-fsync picks the durability/latency
+// trade-off; -retries enables supervised re-execution of internal
+// failures.
+//
+// Shutdown is a two-stage drain: the first SIGINT/SIGTERM stops
+// admissions (healthz 503 "draining", POST /runs 503 + Retry-After)
+// and gives in-flight runs -drain-timeout to finish; whatever remains
+// is checkpoint-canceled to the journal for requeue on the next start.
+// A second signal during the drain forces immediate exit, logging the
+// run IDs still in flight.
 package main
 
 import (
@@ -28,10 +44,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"overcell/internal/robust"
 	"overcell/internal/serve"
+	"overcell/internal/serve/journal"
 )
 
 func main() {
@@ -40,14 +60,54 @@ func main() {
 	maxPending := flag.Int("max-pending", 16, "queued runs beyond which submissions get 503")
 	keepRuns := flag.Int("keep-runs", 64, "finished runs retained for /runs")
 	workers := flag.Int("workers", 0, "default level B routing workers per run, overridable per job with ?workers= (0 = GOMAXPROCS)")
+	journalDir := flag.String("journal", "", "directory for the run-lifecycle journal (empty = no durability)")
+	journalSync := flag.String("journal-fsync", "always", "journal fsync policy: always (power-loss durable) or never (process-crash durable, cheaper)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight runs get to finish after the first SIGTERM before being checkpointed for requeue")
+	retries := flag.Int("retries", 1, "attempts per run; failures classified retryable (internal errors, panics) are re-executed up to this many times")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff after the first failed attempt, doubling per retry")
 	flag.Parse()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxRuns: *maxRuns, MaxPending: *maxPending, KeepRuns: *keepRuns,
 		BaseCtx: ctx, Workers: *workers,
-	})
+		Retry: robust.Policy{MaxAttempts: *retries, BaseDelay: *retryBase, Cap: 10 * time.Second},
+	}
+
+	var rep *journal.Replay
+	if *journalDir != "" {
+		sync, err := journal.ParseSync(*journalSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocserved:", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ocserved: journal dir:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*journalDir, "wal.ndjson")
+		j, r, err := journal.Open(path, journal.Options{Sync: sync})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocserved: journal:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		cfg.Journal = j
+		rep = r
+		if r.Torn {
+			fmt.Printf("journal: torn final record dropped (crash mid-write), %d intact records replayed\n", r.Records)
+		}
+	}
+
+	s := serve.New(cfg)
+	if rep != nil {
+		finished, requeued, failed := s.Recover(rep)
+		if finished+requeued+failed > 0 {
+			fmt.Printf("journal: recovered %d finished, requeued %d, %d unrecoverable\n",
+				finished, requeued, failed)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -60,18 +120,41 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
-	sigc := make(chan os.Signal, 1)
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("ocserved: %v, shutting down\n", sig)
-		cancel() // cancel active runs so shutdown is not held up
+		fmt.Printf("ocserved: %v, draining (timeout %v; signal again to force exit)\n", sig, *drainTimeout)
+		s.StartDrain()
+
+		// A second signal during the drain means "now": log what was
+		// still in flight and exit without waiting.
+		go func() {
+			sig := <-sigc
+			fmt.Fprintf(os.Stderr, "ocserved: %v during drain, forcing exit; in flight: %s\n",
+				sig, strings.Join(s.InFlight(), " "))
+			if cfg.Journal != nil {
+				cfg.Journal.Close() // flush what we have; in-flight runs requeue on restart
+			}
+			os.Exit(1)
+		}()
+
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+		remaining := s.DrainWait(drainCtx)
+		drainCancel()
+		if len(remaining) > 0 {
+			fmt.Printf("ocserved: drain timeout, checkpointing %d in-flight runs for requeue: %s\n",
+				len(remaining), strings.Join(remaining, " "))
+			s.Checkpoint()
+		}
+		cancel() // release anything still scoped to the server lifetime
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer shutCancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "ocserved: shutdown:", err)
 			os.Exit(1)
 		}
+		fmt.Println("ocserved: drained, bye")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "ocserved:", err)

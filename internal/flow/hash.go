@@ -1,0 +1,76 @@
+package flow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"overcell/internal/core"
+)
+
+// Hash digests a flow result into a stable hex identity. Two results
+// hash equal exactly when the headline metrics and the complete
+// level B geometry (per-net terminals, segments and vias, in routing
+// order) are identical — the byte-determinism invariant that crash
+// recovery and the chaos harness assert: re-executing a journaled run
+// after a kill -9 must reproduce the uninterrupted run's hash.
+//
+// The digest covers integers only (floating-point delay summaries are
+// derived values and excluded), so it is insensitive to formatting
+// and architecture.
+func Hash(res *Result) string {
+	h := sha256.New()
+	hstr(h, res.Flow)
+	hints(h, int(res.Area), res.Width, res.Height, res.WireLength, res.Vias,
+		res.Feedthroughs, res.Degraded, len(res.ChannelTracks))
+	hints(h, res.ChannelTracks...)
+	if lb := res.LevelB; lb != nil {
+		hints(h, len(lb.Routes), lb.WireLength, lb.Vias, lb.Corners, lb.Failed, lb.Expanded)
+		for _, nr := range lb.Routes {
+			hashNetRoute(h, nr)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashNetRoute(h hash.Hash, nr *core.NetRoute) {
+	if nr.Net != nil {
+		hstr(h, nr.Net.Name)
+	}
+	hints(h, nr.WireLength, nr.Corners, len(nr.Terminals), len(nr.Segments), len(nr.Vias))
+	for _, p := range nr.Terminals {
+		hints(h, p.Col, p.Row)
+	}
+	for _, s := range nr.Segments {
+		dir := 0
+		if s.Horizontal {
+			dir = 1
+		}
+		hints(h, dir, s.Track, s.Lo, s.Hi)
+	}
+	for _, p := range nr.Vias {
+		hints(h, p.Col, p.Row)
+	}
+	// Failure presence participates (a degraded net is not the same
+	// result as a routed one) but not the error text, which may carry
+	// budget counters that differ across equivalent runs.
+	failed := 0
+	if nr.Err != nil {
+		failed = 1
+	}
+	hints(h, failed)
+}
+
+func hstr(h hash.Hash, s string) {
+	hints(h, len(s))
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write never errors
+}
+
+func hints(h hash.Hash, vs ...int) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		_, _ = h.Write(buf[:]) // hash.Hash.Write never errors
+	}
+}

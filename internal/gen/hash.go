@@ -1,0 +1,41 @@
+package gen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// CanonicalJSON returns the instance's canonical serialisation: the
+// WriteJSON document, whose field and element order is fully
+// determined by the instance (rows, cells and nets serialise in their
+// stored order). Two instances describing the same problem produce
+// byte-identical canonical JSON, which is what makes Hash a stable
+// identity for caching, journaling and crash-recovery equivalence.
+func (inst *Instance) CanonicalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := inst.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Hash returns the canonical content hash of the instance: the hex
+// SHA-256 of CanonicalJSON. Routing has been byte-deterministic since
+// PR 1, so equal instance hashes imply byte-identical routing results
+// under equal options — the invariant crash recovery verifies.
+func (inst *Instance) Hash() (string, error) {
+	b, err := inst.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	return HashBytes(b), nil
+}
+
+// HashBytes is the hash primitive behind Hash, exposed so callers
+// that already hold canonical bytes (the serve accept path journals
+// them anyway) can hash without re-serialising.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// Process-level crash points: the chaos harness's way of dying at a
+// deterministic spot instead of hoping an external kill -9 lands
+// mid-run. Setting OCROUTE_CRASH=<point> in a process's environment
+// arms exactly one point; when execution reaches a matching
+// Crash(point) call the process exits immediately with status 137
+// (the kill -9 status), skipping every deferred function, journal
+// flush and graceful-shutdown path — as close to a real SIGKILL as a
+// process can do to itself.
+//
+// Instrumented points live on ocserved's run lifecycle (see
+// internal/serve): "serve.accepted" (after the accepted record is
+// journaled, before the HTTP response), "serve.started" (after a
+// routing attempt's started record), "serve.finish" (before the
+// finished record — the run has routed but its result is not yet
+// durable, so a restart must requeue and reproduce it).
+//
+// The env var is read once at process start; an unarmed process pays
+// one string compare per crash-point call.
+
+// crashPoint is the armed point name, "" when unarmed.
+var crashPoint = os.Getenv("OCROUTE_CRASH")
+
+// CrashExitCode is the status an armed crash point exits with,
+// matching a SIGKILL'd process's 128+9.
+const CrashExitCode = 137
+
+// Armed reports whether the named crash point is armed in this
+// process.
+func Armed(point string) bool { return crashPoint == point }
+
+// Crash kills the process immediately if the named point is armed;
+// otherwise it is a no-op. The exit bypasses deferred functions by
+// design: a crash point simulates SIGKILL, not a clean shutdown.
+func Crash(point string) {
+	if crashPoint != point || point == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fault: crash point %q armed, dying\n", point)
+	os.Exit(CrashExitCode)
+}

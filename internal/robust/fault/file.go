@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// Journal I/O fault hooks: deterministic storage-layer failures for
+// the durability tests. AppendFile mirrors the method set of
+// internal/serve/journal.File (Go's structural typing keeps this
+// package free of a serve dependency), so a FlakyFile slots straight
+// into journal.Options.OpenFile and manufactures the failures a real
+// flaky disk would: short writes that tear a record, fsync errors
+// under SyncAlways, truncate failures that damage the handle.
+
+// AppendFile is the append-handle surface the journal writes through;
+// *os.File satisfies it.
+type AppendFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FlakyFile wraps an AppendFile with injectable faults. Counters are
+// 1-based call indices; 0 disables that fault. Not safe for
+// concurrent use — drive it from one goroutine in tests.
+type FlakyFile struct {
+	F AppendFile
+
+	// FailWriteAt makes write call #FailWriteAt fail with WriteErr
+	// after writing only the first half of the buffer (a torn record);
+	// set ShortOnly to suppress the error and return the short count
+	// bare, exercising the io.Writer contract-violation path.
+	FailWriteAt int
+	WriteErr    error
+	ShortOnly   bool
+
+	// FailSyncAt makes fsync call #FailSyncAt return SyncErr.
+	FailSyncAt int
+	SyncErr    error
+
+	// FailTruncateAt makes truncate calls #FailTruncateAt and later
+	// return TruncErr — the rollback failure that damages a journal
+	// handle. (Call #1 is journal.Open's own tail truncation.)
+	FailTruncateAt int
+	TruncErr       error
+
+	writes, syncs, truncs int
+}
+
+// Write implements io.Writer with the configured write fault.
+func (f *FlakyFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.FailWriteAt != 0 && f.writes == f.FailWriteAt {
+		n, _ := f.F.Write(p[:len(p)/2])
+		if f.ShortOnly {
+			return n, nil
+		}
+		return n, f.WriteErr
+	}
+	return f.F.Write(p)
+}
+
+// Sync implements the fsync fault.
+func (f *FlakyFile) Sync() error {
+	f.syncs++
+	if f.FailSyncAt != 0 && f.syncs == f.FailSyncAt {
+		return f.SyncErr
+	}
+	return f.F.Sync()
+}
+
+// Truncate implements the rollback fault.
+func (f *FlakyFile) Truncate(size int64) error {
+	f.truncs++
+	if f.FailTruncateAt != 0 && f.truncs >= f.FailTruncateAt {
+		return f.TruncErr
+	}
+	return f.F.Truncate(size)
+}
+
+// Close closes the underlying file.
+func (f *FlakyFile) Close() error { return f.F.Close() }
+
+// CorruptTail overwrites the final n bytes of the file with 0xFF —
+// the disk-rot / hand-edit corruption the journal's replay must
+// surface as a typed error rather than a panic or silent data loss.
+func CorruptTail(path string, n int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if int64(n) > info.Size() {
+		n = int(info.Size())
+	}
+	junk := make([]byte, n)
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	_, err = f.WriteAt(junk, info.Size()-int64(n))
+	return err
+}

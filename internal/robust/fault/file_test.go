@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"overcell/internal/serve/journal"
+)
+
+// openFlaky opens a journal whose append handle routes through the
+// given FlakyFile configuration.
+func openFlaky(t *testing.T, path string, cfg FlakyFile, sync journal.SyncPolicy) (*journal.Journal, *FlakyFile) {
+	t.Helper()
+	var ff *FlakyFile
+	j, _, err := journal.Open(path, journal.Options{
+		Sync: sync,
+		OpenFile: func(p string) (journal.File, error) {
+			f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			cp := cfg
+			cp.F = f
+			ff = &cp
+			return ff, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, ff
+}
+
+func rec(kind, id string) *journal.Record { return &journal.Record{Kind: kind, Run: id} }
+
+// TestShortWriteTornTail: a short write mid-record surfaces the
+// injected error (typed, matchable), the journal rolls back to the
+// record boundary, and the file replays clean — the half-written
+// record never existed.
+func TestShortWriteTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	boom := errors.New("disk on fire")
+	j, _ := openFlaky(t, path, FlakyFile{FailWriteAt: 2, WriteErr: boom}, journal.SyncNever)
+	if err := j.Append(rec(journal.KindAccepted, "run-1")); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Append(rec(journal.KindStarted, "run-1"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("short write err = %v, want wrapped injected fault", err)
+	}
+	// The handle stays usable: the failed record was rolled back.
+	if err := j.Append(rec(journal.KindStarted, "run-1")); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	j.Close()
+	_, rep, err := Open2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Torn || rep.Records != 2 {
+		t.Fatalf("post-fault replay = records %d torn %v, want 2 clean", rep.Records, rep.Torn)
+	}
+}
+
+// Open2 reopens a journal with default options (helper keeping test
+// call sites short).
+func Open2(path string) (*journal.Journal, *journal.Replay, error) {
+	return journal.Open(path, journal.Options{})
+}
+
+// TestShortWriteNoError: a writer that violates the io.Writer
+// contract (short count, nil error) is still caught and surfaced as
+// io.ErrShortWrite.
+func TestShortWriteNoError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, _ := openFlaky(t, path, FlakyFile{FailWriteAt: 1, ShortOnly: true}, journal.SyncNever)
+	if err := j.Append(rec(journal.KindAccepted, "run-1")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("contract-violating write err = %v, want io.ErrShortWrite", err)
+	}
+	j.Close()
+}
+
+// TestFsyncError: under SyncAlways a failed fsync surfaces the
+// injected error; the record itself is intact on disk, so replay
+// still sees it.
+func TestFsyncError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	boom := errors.New("fsync refused")
+	j, _ := openFlaky(t, path, FlakyFile{FailSyncAt: 1, SyncErr: boom}, journal.SyncAlways)
+	if err := j.Append(rec(journal.KindAccepted, "run-1")); !errors.Is(err, boom) {
+		t.Fatalf("fsync fault err = %v, want wrapped injected fault", err)
+	}
+	if err := j.Append(rec(journal.KindStarted, "run-1")); err != nil {
+		t.Fatalf("append after fsync fault: %v", err)
+	}
+	j.Close()
+	_, rep, err := Open2(path)
+	if err != nil || rep.Records != 2 {
+		t.Fatalf("replay after fsync fault = %+v, %v", rep, err)
+	}
+}
+
+// TestRollbackFailureDamagesHandle: write fault + truncate fault =
+// unknown tail state; the handle must refuse further appends with
+// ErrDamaged instead of burying good records behind garbage.
+func TestRollbackFailureDamagesHandle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, _ := openFlaky(t, path, FlakyFile{
+		FailWriteAt: 1, WriteErr: errors.New("write lost"),
+		FailTruncateAt: 2, TruncErr: errors.New("truncate lost"),
+	}, journal.SyncNever)
+	err := j.Append(rec(journal.KindAccepted, "run-1"))
+	if !errors.Is(err, journal.ErrDamaged) {
+		t.Fatalf("rollback-failed append err = %v, want ErrDamaged", err)
+	}
+	if err := j.Append(rec(journal.KindStarted, "run-1")); !errors.Is(err, journal.ErrDamaged) {
+		t.Fatalf("append on damaged handle = %v, want ErrDamaged", err)
+	}
+	j.Close()
+}
+
+// TestCorruptTailSurfacesTyped: rotted final bytes are a tolerated
+// torn tail; rot before the final record is a typed ErrCorrupt.
+// Neither panics.
+func TestCorruptTailSurfacesTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.ndjson")
+	j, _, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*journal.Record{
+		rec(journal.KindAccepted, "run-1"),
+		rec(journal.KindStarted, "run-1"),
+		rec(journal.KindFinished, "run-1"),
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	if err := CorruptTail(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatalf("torn-tail open: %v", err)
+	}
+	if !rep.Torn || rep.Records != 2 {
+		t.Fatalf("corrupt-tail replay = records %d torn %v, want 2 torn", rep.Records, rep.Torn)
+	}
+
+	// Rot a byte inside the FIRST record (later records intact): the
+	// damage precedes the final record — replay must refuse, typed.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/6] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = journal.Open(path, journal.Options{})
+	if !errors.Is(err, journal.ErrCorrupt) {
+		t.Fatalf("mid-file rot open err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCrashPointUnarmed(t *testing.T) {
+	// The test process never arms OCROUTE_CRASH, so this must be a
+	// no-op (an armed point would kill the test run, loudly).
+	Crash("serve.finish")
+	if Armed("serve.finish") {
+		t.Fatal("crash point armed in test process")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"overcell/internal/flow"
@@ -56,6 +57,8 @@ import (
 	"overcell/internal/obs/span"
 	"overcell/internal/render"
 	"overcell/internal/robust"
+	"overcell/internal/robust/fault"
+	"overcell/internal/serve/journal"
 )
 
 // Run states.
@@ -88,6 +91,23 @@ type Config struct {
 	// the router default (GOMAXPROCS); 1 forces serial routing.
 	// Routing results are identical either way.
 	Workers int
+	// Journal, when non-nil, makes the run lifecycle durable: every
+	// accepted payload and state transition is appended, so a
+	// restarted server can reconstruct finished runs and requeue the
+	// ones a crash interrupted (see Recover). A failed append degrades
+	// durability, never availability: the run proceeds and the failure
+	// is counted in ocroute_journal_write_errors_total.
+	Journal *journal.Journal
+	// Retry supervises run execution: attempts classified retryable by
+	// robust.Retryable (internal invariant violations, recovered
+	// panics) are re-executed up to Retry.Attempts() with deterministic
+	// exponential backoff. The zero value means one attempt, no
+	// retries. Terminal classes (invalid input, unroutable, budget
+	// exhausted, canceled) are never retried.
+	Retry robust.Policy
+	// RetrySleep overrides the backoff sleeper (tests inject an
+	// immediate one). Nil means a timer bounded by the run's context.
+	RetrySleep func(time.Duration)
 }
 
 type flowFn func(*gen.Instance, flow.Options) (*flow.Result, error)
@@ -106,6 +126,15 @@ type Server struct {
 	finished map[string]*metrics.Counter // by final state
 	rejected *metrics.Counter
 	httpReqs *metrics.Counter
+
+	// Run-lifecycle durability families (PR 8): recovery outcomes,
+	// supervised retries, journal write failures, and the drain state
+	// the load balancer watches via /healthz.
+	recovered   map[string]*metrics.Counter // by outcome
+	retries     *metrics.Counter
+	journalErrs *metrics.Counter
+	drainG      *metrics.Gauge
+	draining    atomic.Bool
 
 	// ocroute_perf_* families: cumulative perf-report attribution
 	// folded in as each run finishes. Pre-registered so the families
@@ -135,14 +164,29 @@ type run struct {
 	err                    string
 	heatWin                int
 
+	// instHash is the canonical instance content hash; resultHash the
+	// result digest (flow.Hash) once finished. Equal instance hashes
+	// imply equal result hashes — the invariant crash recovery checks.
+	instHash   string
+	resultHash string
+	// attempts counts routing attempts (retries included); recovered
+	// marks a run reconstructed or requeued from the journal; requeue
+	// marks an in-flight run checkpoint-canceled by a drain, to be
+	// journaled as interrupted (= requeue on next start) rather than
+	// terminally canceled.
+	attempts  int
+	recovered bool
+	requeue   bool
+
 	cancel    context.CancelFunc
 	done      chan struct{}
 	builder   *span.Builder
 	collector *obs.Collector
 	perf      *perf.Collector
 
-	res  *flow.Result
-	heat *obs.Heatmap
+	res    *flow.Result
+	resRec *RunResult // summary view; survives restarts when res cannot
+	heat   *obs.Heatmap
 }
 
 // New builds a Server with its own metrics registry.
@@ -183,6 +227,17 @@ func New(cfg Config) *Server {
 		s.finished[st] = reg.Counter("ocserved_runs_finished_total",
 			"Routing runs finished, by final state.", metrics.L("state", st))
 	}
+	s.recovered = make(map[string]*metrics.Counter)
+	for _, oc := range []string{"finished", "requeued", "failed"} {
+		s.recovered[oc] = reg.Counter("ocroute_runs_recovered_total",
+			"Runs reconstructed from the journal at startup, by outcome.", metrics.L("outcome", oc))
+	}
+	s.retries = reg.Counter("ocroute_run_retries_total",
+		"Routing attempts re-executed by the retry supervisor after a retryable failure.")
+	s.journalErrs = reg.Counter("ocroute_journal_write_errors_total",
+		"Journal appends that failed; the run proceeded without durability for that record.")
+	s.drainG = reg.Gauge("ocserved_draining",
+		"1 while the server is draining (rejecting new runs, waiting for in-flight ones).")
 	s.perfPhaseWall = make(map[string]*metrics.Counter)
 	s.perfPhaseAllocs = make(map[string]*metrics.Counter)
 	for _, ph := range []string{"level-a", "level-b", "verify"} {
@@ -216,6 +271,13 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			// Load balancers stop sending traffic on the first non-200;
+			// in-flight runs keep finishing behind the scenes.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -261,6 +323,13 @@ type jobRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// The drain window is short; tell well-behaved clients when to
+		// try the replacement instance.
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "server draining, not accepting new runs", http.StatusServiceUnavailable)
+		return
+	}
 	var body bytes.Buffer
 	if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, 32<<20)); err != nil {
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
@@ -329,6 +398,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad instance: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Canonicalise the payload now: the journal stores the canonical
+	// form (so a requeued run re-executes byte-identical input) and the
+	// hash keys the crash-recovery equivalence check.
+	canon, err := inst.CanonicalJSON()
+	if err != nil {
+		http.Error(w, "canonicalise instance: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	instHash := gen.HashBytes(canon)
 
 	// Asynchronous runs live until the server shuts down; waited runs
 	// are scoped to the request, so a client disconnect cancels the
@@ -356,15 +434,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ru := &run{
 		id: id, flowName: req.Flow, instance: inst.Name,
 		state: StatePending, submitted: time.Now(), heatWin: req.HeatWin, //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
-		cancel: cancel, done: make(chan struct{}),
+		instHash: instHash,
+		cancel:   cancel, done: make(chan struct{}),
 		builder:   span.NewBuilder(id, nil),
 		collector: obs.NewCollector(),
 		perf:      perf.New(perf.Options{Run: id}),
 	}
 	s.runs[id] = ru
 	s.order = append(s.order, id)
-	s.evictLocked()
+	evicted := s.evictLocked()
 	s.mu.Unlock()
+
+	// The accepted record is the run's durable birth certificate: the
+	// canonical payload plus every knob needed to re-execute it. It is
+	// written before the response, so an acknowledged run is never lost.
+	s.journalAppend(&journal.Record{
+		Kind: journal.KindAccepted, Run: id, Time: ru.submitted,
+		Flow: req.Flow, Name: inst.Name,
+		Instance: json.RawMessage(canon), InstanceHash: instHash,
+		Opts: &journal.RunOpts{
+			DeadlineMS: req.DeadlineMS, NetBudget: req.NetBudget,
+			TotalBudget: req.TotalBudget, Partial: req.Partial,
+			HeatWin: req.HeatWin, Workers: req.Workers,
+		},
+	})
+	for _, eid := range evicted {
+		s.journalAppend(&journal.Record{
+			Kind: journal.KindEvicted, Run: eid,
+			Time: time.Now(), //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
+		})
+	}
+	fault.Crash("serve.accepted")
 
 	go s.execute(ctx, ru, fn, inst, req)
 
@@ -393,6 +493,13 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 		return
 	}
 	s.mu.Lock()
+	if terminalState(ru.state) {
+		// A cancel raced this run into a terminal state while it waited
+		// for a slot (pending cancels transition directly); do not route
+		// a dead run.
+		s.mu.Unlock()
+		return
+	}
 	ru.state = StateRunning
 	ru.started = time.Now() //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
 	s.mu.Unlock()
@@ -419,7 +526,28 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.Workers
 	}
-	res, err := fn(inst, opts)
+	// Supervised execution: each attempt is journaled before it routes
+	// (so a crash mid-attempt requeues on restart), and retryable
+	// failures — internal invariant violations, recovered panics — are
+	// re-executed under the configured policy. Terminal classes never
+	// re-route (see robust.Retryable).
+	var res *flow.Result
+	_, err := s.cfg.Retry.Do(ctx, s.cfg.RetrySleep, func(attempt int) error {
+		s.mu.Lock()
+		ru.attempts = attempt
+		s.mu.Unlock()
+		if attempt > 1 {
+			s.retries.Inc()
+		}
+		s.journalAppend(&journal.Record{
+			Kind: journal.KindStarted, Run: ru.id, Attempt: attempt,
+			Time: time.Now(), //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
+		})
+		fault.Crash("serve.started")
+		var ferr error
+		res, ferr = fn(inst, opts)
+		return ferr
+	})
 	ru.builder.Finish()
 	ru.perf.Finish()
 
@@ -442,13 +570,19 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 }
 
 // transition finalises a run: records the outcome, samples the
-// congestion heatmap, bumps the server metrics.
+// congestion heatmap, bumps the server metrics, and journals the
+// terminal record. The first terminal transition wins — a cancel
+// racing a natural completion finalises (and journals) exactly once.
 func (s *Server) transition(ru *run, state string, res *flow.Result, err error) {
 	var heat *obs.Heatmap
 	if res != nil && res.BGrid != nil {
 		heat = obs.CollectHeatmap(res.BGrid, ru.heatWin)
 	}
 	s.mu.Lock()
+	if terminalState(ru.state) {
+		s.mu.Unlock()
+		return
+	}
 	ru.state = state
 	ru.finished = time.Now() //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
 	ru.res = res
@@ -456,11 +590,72 @@ func (s *Server) transition(ru *run, state string, res *flow.Result, err error) 
 	if err != nil {
 		ru.err = err.Error()
 	}
+	ru.resRec = resultView(res)
+	if res != nil {
+		ru.resultHash = flow.Hash(res)
+	}
+	rec := terminalRecord(ru, state)
 	s.mu.Unlock()
 	if c, ok := s.finished[state]; ok {
 		c.Inc()
 	}
+	fault.Crash("serve.finish")
+	s.journalAppend(rec)
 	s.foldPerf(ru.perf.Report())
+}
+
+// terminalRecord builds the journal record for a finalised run: a
+// drain checkpoint writes interrupted (= requeue on restart), anything
+// else writes the terminal finished record. Caller holds s.mu.
+func terminalRecord(ru *run, state string) *journal.Record {
+	if ru.requeue && state == StateCanceled {
+		return &journal.Record{
+			Kind: journal.KindInterrupted, Run: ru.id, Time: ru.finished,
+			Attempts: ru.attempts,
+		}
+	}
+	rec := &journal.Record{
+		Kind: journal.KindFinished, Run: ru.id, Time: ru.finished,
+		State: state, Error: ru.err, ResultHash: ru.resultHash,
+		Attempts: ru.attempts,
+	}
+	if ru.resRec != nil {
+		rec.Result = &journal.ResultRecord{
+			Flow: ru.resRec.Flow, Area: ru.resRec.Area,
+			Width: ru.resRec.Width, Height: ru.resRec.Height,
+			WireLength: ru.resRec.WireLength, Vias: ru.resRec.Vias,
+			Degraded: ru.resRec.Degraded, LevelBNets: ru.resRec.LevelBNets,
+			Expanded: ru.resRec.Expanded,
+		}
+	}
+	return rec
+}
+
+// resultView projects a flow result into its JSON summary form; nil in,
+// nil out.
+func resultView(res *flow.Result) *RunResult {
+	if res == nil {
+		return nil
+	}
+	rr := &RunResult{
+		Flow: res.Flow, Area: res.Area, Width: res.Width, Height: res.Height,
+		WireLength: res.WireLength, Vias: res.Vias, Degraded: res.Degraded,
+	}
+	if res.LevelB != nil {
+		rr.LevelBNets = len(res.LevelB.Routes)
+		rr.Expanded = res.LevelB.Expanded
+	}
+	return rr
+}
+
+// terminalState reports whether st is one of the four final run
+// states.
+func terminalState(st string) bool {
+	switch st {
+	case StateDone, StatePartial, StateFailed, StateCanceled:
+		return true
+	}
+	return false
 }
 
 // foldPerf accumulates one finished run's perf report into the
@@ -509,25 +704,28 @@ func (s *Server) pendingLocked() int {
 	return n
 }
 
-// evictLocked drops the oldest finished runs beyond cfg.KeepRuns.
-// Caller holds s.mu.
-func (s *Server) evictLocked() {
+// evictLocked drops the oldest finished runs beyond cfg.KeepRuns and
+// returns their ids so the caller can journal the evictions after
+// releasing the lock. Caller holds s.mu.
+func (s *Server) evictLocked() []string {
+	var dropped []string
 	for len(s.order) > s.cfg.KeepRuns {
 		evicted := false
 		for i, id := range s.order {
 			ru := s.runs[id]
-			if ru.state == StateDone || ru.state == StatePartial ||
-				ru.state == StateFailed || ru.state == StateCanceled {
+			if terminalState(ru.state) {
 				delete(s.runs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				dropped = append(dropped, id)
 				evicted = true
 				break
 			}
 		}
 		if !evicted {
-			return // everything retained is still active
+			return dropped // everything retained is still active
 		}
 	}
+	return dropped
 }
 
 // RunResult is the JSON view of a finished flow result.
@@ -553,6 +751,18 @@ type RunStatus struct {
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
 	Error     string     `json:"error,omitempty"`
+	// InstanceHash is the canonical content hash of the submitted
+	// instance; ResultHash digests the routed result once finished.
+	// Together they state the determinism contract: equal instance
+	// hashes produce equal result hashes, across retries, restarts and
+	// crash recovery.
+	InstanceHash string `json:"instance_hash,omitempty"`
+	ResultHash   string `json:"result_hash,omitempty"`
+	// Attempts counts routing attempts (1 unless the retry supervisor
+	// re-executed); Recovered marks a run reconstructed or requeued
+	// from the journal after a restart.
+	Attempts  int  `json:"attempts,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
 	// DurationMS is the elapsed routing time: started to finished, or
 	// started to now for a run still going. 0 while pending.
 	DurationMS int64 `json:"duration_ms,omitempty"`
@@ -578,6 +788,8 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 	st := RunStatus{
 		ID: ru.id, State: ru.state, Flow: ru.flowName, Instance: ru.instance,
 		Submitted: ru.submitted, Error: ru.err,
+		InstanceHash: ru.instHash, ResultHash: ru.resultHash,
+		Attempts: ru.attempts, Recovered: ru.recovered,
 	}
 	if !ru.started.IsZero() {
 		t := ru.started
@@ -592,20 +804,9 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 		t := ru.finished
 		st.Finished = &t
 	}
-	res := ru.res
+	st.Result = ru.resRec
 	s.mu.Unlock()
 	st.Workers, st.Speculations, st.Conflicts = ru.perf.Quick()
-	if res != nil {
-		rr := &RunResult{
-			Flow: res.Flow, Area: res.Area, Width: res.Width, Height: res.Height,
-			WireLength: res.WireLength, Vias: res.Vias, Degraded: res.Degraded,
-		}
-		if res.LevelB != nil {
-			rr.LevelBNets = len(res.LevelB.Routes)
-			rr.Expanded = res.LevelB.Expanded
-		}
-		st.Result = rr
-	}
 	if detail {
 		sum := span.Summarise(ru.builder.Snapshot())
 		st.Spans = &sum
@@ -684,6 +885,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ru.cancel()
+	if state == StatePending {
+		// Finalise a queued run immediately rather than waiting for its
+		// goroutine to notice the cancel: the caller sees canceled in
+		// this response and the journal gets the record now. The
+		// terminal-state guard in transition makes this race-safe
+		// against the goroutine's own cancel path.
+		s.transition(ru, StateCanceled, nil, errors.New("canceled while pending"))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, s.status(ru, false))
