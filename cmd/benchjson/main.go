@@ -259,7 +259,7 @@ func workloads() []workload {
 	// three fsynced appends (accepted, started, finished) — the number
 	// the README's fsync trade-off note cites.
 	ws = append(ws, workload{"serve/journal/off", func() (map[string]float64, []obs.BenchPhase, error) {
-		return serveRuns("")
+		return serveRuns("", 0)
 	}})
 	ws = append(ws, workload{"serve/journal/on", func() (map[string]float64, []obs.BenchPhase, error) {
 		dir, err := os.MkdirTemp("", "ocbench-journal")
@@ -267,7 +267,18 @@ func workloads() []workload {
 			return nil, nil, err
 		}
 		defer os.RemoveAll(dir)
-		return serveRuns(dir)
+		return serveRuns(dir, 0)
+	}})
+	// The streaming pair: the identical burst with run telemetry (event
+	// broker + congestion series) fully disabled and at its default. No
+	// SSE client is attached, so the delta is the standing regression
+	// check on what live telemetry costs every run whether or not
+	// anyone is watching.
+	ws = append(ws, workload{"serve/stream/off", func() (map[string]float64, []obs.BenchPhase, error) {
+		return serveRuns("", -1)
+	}})
+	ws = append(ws, workload{"serve/stream/on", func() (map[string]float64, []obs.BenchPhase, error) {
+		return serveRuns("", 0)
 	}})
 	ws = append(ws, workload{"search/maze-vs-tig", mazeVsTIG})
 	return ws
@@ -279,9 +290,10 @@ func workloads() []workload {
 const serveRunsCount = 24
 
 // serveRuns boots an in-process ocserved (journaled when dir is
-// non-empty), submits serveRunsCount waited runs of a tiny instance
-// over real HTTP, and verifies every one finishes done.
-func serveRuns(dir string) (map[string]float64, []obs.BenchPhase, error) {
+// non-empty, event streaming disabled when streamCap < 0), submits
+// serveRunsCount waited runs of a tiny instance over real HTTP, and
+// verifies every one finishes done.
+func serveRuns(dir string, streamCap int) (map[string]float64, []obs.BenchPhase, error) {
 	inst, err := gen.Generate(gen.Params{
 		Name: "tiny", Seed: 7,
 		Rows: 2, Cells: 6,
@@ -297,7 +309,7 @@ func serveRuns(dir string) (map[string]float64, []obs.BenchPhase, error) {
 	if err := inst.WriteJSON(&payload); err != nil {
 		return nil, nil, err
 	}
-	cfg := serve.Config{MaxRuns: 1, KeepRuns: serveRunsCount + 1}
+	cfg := serve.Config{MaxRuns: 1, KeepRuns: serveRunsCount + 1, StreamCap: streamCap}
 	if dir != "" {
 		j, _, err := journal.Open(filepath.Join(dir, "wal.ndjson"), journal.Options{Sync: journal.SyncAlways})
 		if err != nil {

@@ -46,6 +46,7 @@ import (
 	"overcell/internal/obs/perf"
 	"overcell/internal/render"
 	"overcell/internal/robust"
+	"overcell/internal/version"
 )
 
 func main() {
@@ -70,7 +71,13 @@ func run() int {
 	partial := flag.Bool("partial", false, "accept runs where some nets degraded under the budget instead of failing")
 	workers := flag.Int("workers", 0, "level B speculative routing workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 	perfReport := flag.String("perf-report", "", "write the perf-attribution report as JSON to this file and print the summary table (- for table only)")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("ocroute %s (%s)\n", version.String(), version.Go())
+		return 0
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {

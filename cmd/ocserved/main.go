@@ -14,6 +14,16 @@
 //	curl -s localhost:8344/runs
 //	curl -s localhost:8344/runs/run-1/heatmap.svg -o heat.svg
 //
+//	# watch a run live: SSE events, congestion series, animated heatmap
+//	curl -N localhost:8344/runs/run-1/events
+//	curl -s localhost:8344/runs/run-1/congestion?frames=1
+//	curl -s localhost:8344/runs/run-1/congestion.svg -o congest.svg
+//
+// Structured logs (run-correlated, with run_id and attempt fields) go
+// to stderr; -log-format json emits one JSON object per line for log
+// shippers. Plain operational lines scripts scrape — the listen
+// address, the journal recovery summary — stay on stdout.
+//
 // The listen address is printed once the socket is bound ("listening
 // on http://HOST:PORT"), so scripts can use port 0 and scrape the
 // actual port from stdout.
@@ -40,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -52,7 +63,28 @@ import (
 	"overcell/internal/robust"
 	"overcell/internal/serve"
 	"overcell/internal/serve/journal"
+	"overcell/internal/version"
 )
+
+// newLogger builds the run-correlated structured logger from the
+// -log-format/-log-level flags. It writes to stderr: stdout stays
+// reserved for the plain operational lines scripts scrape ("listening
+// on http://...", the journal recovery summary).
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8344", "listen address (host:port; port 0 picks one)")
@@ -65,14 +97,29 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long in-flight runs get to finish after the first SIGTERM before being checkpointed for requeue")
 	retries := flag.Int("retries", 1, "attempts per run; failures classified retryable (internal errors, panics) are re-executed up to this many times")
 	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "backoff after the first failed attempt, doubling per retry")
+	streamCap := flag.Int("stream-cap", 0, "per-run event ring for /runs/{id}/events SSE subscribers (0 = default, negative disables streaming and congestion telemetry)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json (written to stderr)")
+	logLevel := flag.String("log-level", "info", "minimum structured log level: debug, info, warn or error")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("ocserved %s (%s)\n", version.String(), version.Go())
+		return
+	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocserved:", err)
+		os.Exit(1)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cfg := serve.Config{
 		MaxRuns: *maxRuns, MaxPending: *maxPending, KeepRuns: *keepRuns,
 		BaseCtx: ctx, Workers: *workers,
-		Retry: robust.Policy{MaxAttempts: *retries, BaseDelay: *retryBase, Cap: 10 * time.Second},
+		Retry:     robust.Policy{MaxAttempts: *retries, BaseDelay: *retryBase, Cap: 10 * time.Second},
+		StreamCap: *streamCap, Version: version.String(), Logger: logger,
 	}
 
 	var rep *journal.Replay

@@ -149,6 +149,12 @@ type Config struct {
 	// accounting (see PerfObserver). Nil disables the hooks; the serial
 	// path never touches them.
 	Perf PerfObserver
+	// Congest is notified after each net commit mutates the live grid
+	// (see CommitObserver); congestion time-series samplers hang off it.
+	// Nil disables the hook. Speculative attempts on snapshot grids
+	// never reach it, so the call sequence is identical at every worker
+	// count.
+	Congest CommitObserver
 	// Clock timestamps speculation starts and ends for Perf. It must be
 	// safe for concurrent use (each worker reads it). Nil means the wall
 	// clock; callers wiring a Perf collector should pass its Clock() so

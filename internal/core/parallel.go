@@ -356,4 +356,10 @@ func (r *Router) commitSpeculation(env *routeEnv, sp *speculation, res *Result) 
 	for _, e := range sp.events {
 		env.tr.Emit(e)
 	}
+	// The live grid now holds exactly what a serial routeNet at this
+	// rank would have committed, so the commit-boundary sample is
+	// byte-identical to the serial run's.
+	if r.cfg.Congest != nil {
+		r.cfg.Congest.NetCommitted(sp.rank, sp.net.Name, sp.nr.Err != nil, env.g)
+	}
 }

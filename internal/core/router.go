@@ -438,6 +438,13 @@ func (r *Router) routeNet(env *routeEnv, net *netlist.Net, terms []tig.Point, re
 				Escalated: nr.Escalations, Failed: nr.Err != nil,
 			})
 		}
+		// Commit-boundary sampling fires only for live-grid commits: a
+		// non-nil read window marks a speculative attempt on a snapshot
+		// (see parallel.go); its metal reaches the live grid — and the
+		// observer — via commitSpeculation instead.
+		if r.cfg.Congest != nil && env.read == nil {
+			r.cfg.Congest.NetCommitted(rank, net.Name, nr.Err != nil, env.g)
+		}
 	}()
 
 	if len(terms) < 2 {

@@ -98,6 +98,12 @@ type Options struct {
 	// becomes the level B router's PerfObserver, and supplies the shared
 	// timestamp clock. Nil disables attribution at zero cost.
 	Perf *perf.Collector
+	// Congest attaches a commit-boundary observer to the level B router
+	// (core.Config.Congest): one callback per net commit on the live
+	// grid, in serial order at every worker count. The obs/congest
+	// Series records the congestion time-series from it. Nil disables
+	// the hook. Ignored when Core already carries its own observer.
+	Congest core.CommitObserver
 	// RunID is the "run" pprof label value when ProfileLabels is on (an
 	// ocserved run id, an instance name).
 	RunID string
@@ -143,6 +149,9 @@ func (o Options) coreConfig(b *robust.Budget) core.Config {
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = o.Workers
+	}
+	if cfg.Congest == nil {
+		cfg.Congest = o.Congest
 	}
 	if cfg.Perf == nil && o.Perf != nil {
 		cfg.Perf = o.Perf

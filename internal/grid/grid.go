@@ -493,12 +493,20 @@ func (g *Grid) CongestionIn(cols, rows geom.Interval) float64 {
 // BlockedPoints returns the total count of blocked (point, layer)
 // pairs in the whole grid; used by tests and capacity reports.
 func (g *Grid) BlockedPoints() int {
-	n := 0
+	h, v := g.BlockedPerLayer()
+	return h + v
+}
+
+// BlockedPerLayer splits BlockedPoints by layer: h counts blocked
+// points on the horizontal-track layer, v on the vertical-track layer.
+// The per-layer track-utilisation series of the congestion telemetry
+// is built from these.
+func (g *Grid) BlockedPerLayer() (h, v int) {
 	for j := range g.blockH {
-		n += g.blockH[j].Count()
+		h += g.blockH[j].Count()
 	}
 	for i := range g.blockV {
-		n += g.blockV[i].Count()
+		v += g.blockV[i].Count()
 	}
-	return n
+	return h, v
 }

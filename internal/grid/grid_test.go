@@ -188,6 +188,20 @@ func TestBlockRectMasks(t *testing.T) {
 	}
 }
 
+func TestBlockedPerLayer(t *testing.T) {
+	g := mustUniform(t, 10, 10, 1)
+	g.BlockH(3, geom.Iv(2, 6)) // 5 points on the H layer
+	g.BlockV(7, geom.Iv(0, 2)) // 3 points on the V layer
+	g.BlockPoint(9, 9)         // 1 on each
+	h, v := g.BlockedPerLayer()
+	if h != 6 || v != 4 {
+		t.Errorf("BlockedPerLayer = (%d, %d), want (6, 4)", h, v)
+	}
+	if got := g.BlockedPoints(); got != h+v {
+		t.Errorf("BlockedPoints = %d, want %d", got, h+v)
+	}
+}
+
 func TestClearSpans(t *testing.T) {
 	g := mustUniform(t, 12, 12, 1)
 	g.BlockH(6, geom.Iv(3, 4))

@@ -1,0 +1,236 @@
+// Package stream turns one run's obs event stream into a live,
+// resumable fan-out: a Broker records every event it receives under a
+// monotonically increasing sequence number in a bounded ring, and any
+// number of Subscribers consume the stream at their own pace — a late
+// joiner replays from the start of whatever the ring still retains, a
+// disconnected client resumes from the last sequence number it saw
+// (SSE Last-Event-ID), and a slow client is never allowed to slow the
+// publisher down.
+//
+// The drop policy is explicit and surfaced, never silent and never
+// blocking: the Broker's ring holds the most recent Cap events; a
+// subscriber whose cursor falls out of the retained window skips
+// forward to the oldest retained event and counts every skipped event
+// in its Dropped tally (Next also reports the gap per read, so an SSE
+// handler can tell the client exactly how much it lost). Publishing is
+// a ring write under a short mutex — no channel sends, no waiting on
+// consumers — so attaching a Broker to a routing run costs about as
+// much as the in-process Collector, whether zero or a hundred clients
+// are connected.
+//
+// Sequence numbers start at 0 and are assigned in emission order. The
+// routing event payloads are deterministic whenever the run is (see
+// package obs), so the numbered stream two subscribers observe differs
+// only in how much of it each retained.
+package stream
+
+import (
+	"context"
+	"sync"
+
+	"overcell/internal/obs"
+)
+
+// DefaultCap is the default ring capacity in events. A proposed-flow
+// run on the paper's instances emits a few thousand events, so the
+// default retains entire runs for replay-from-start; pathological runs
+// wrap and late joiners see the drop accounting instead.
+const DefaultCap = 16384
+
+// Numbered is one event with its stream sequence number.
+type Numbered struct {
+	Seq uint64    `json:"seq"`
+	Ev  obs.Event `json:"ev"`
+}
+
+// Broker is the per-run fan-out hub. Create with NewBroker; attach to
+// a run by joining its tracer chain (obs.Combine). All methods are
+// safe for concurrent use.
+type Broker struct {
+	mu   sync.Mutex
+	buf  []Numbered // ring storage, grown geometrically up to cap
+	cap  int        // maximum ring capacity
+	head int        // index of the oldest retained event
+	n    int        // events currently retained
+	next uint64     // next sequence number to assign == events published
+	subs []*Sub
+	// closed marks the end of the stream: the run finished. Subscribers
+	// drain what remains, then Next reports stream end.
+	closed bool
+	// droppedTotal accumulates drops across all subscribers, including
+	// closed ones, for the ocserved_stream_dropped_total family.
+	droppedTotal uint64
+}
+
+// NewBroker returns a broker retaining up to capacity events
+// (capacity < 1 means DefaultCap). The ring starts small and grows
+// geometrically to the cap, so short runs never pay for the worst
+// case.
+func NewBroker(capacity int) *Broker {
+	if capacity < 1 {
+		capacity = DefaultCap
+	}
+	return &Broker{cap: capacity}
+}
+
+// Enabled implements obs.Tracer.
+func (b *Broker) Enabled() bool { return true }
+
+// Emit implements obs.Tracer: the event is numbered and recorded, and
+// waiting subscribers are woken. Emit never blocks on consumers; when
+// the ring is full the oldest event is evicted and lagging subscribers
+// account the loss on their next read.
+func (b *Broker) Emit(e obs.Event) {
+	b.mu.Lock()
+	if b.closed {
+		// A tracer chain may race a final emit against Close; dropping
+		// post-close events keeps "closed" meaning "sequence complete".
+		b.mu.Unlock()
+		return
+	}
+	if b.n == len(b.buf) && b.n < b.cap {
+		// Grow towards cap: double, starting at 256.
+		newCap := len(b.buf) * 2
+		if newCap == 0 {
+			newCap = 256
+		}
+		if newCap > b.cap {
+			newCap = b.cap
+		}
+		grown := make([]Numbered, newCap)
+		for i := 0; i < b.n; i++ {
+			grown[i] = b.buf[(b.head+i)%len(b.buf)]
+		}
+		b.buf = grown
+		b.head = 0
+	}
+	if b.n == len(b.buf) {
+		// Ring full at cap: evict the oldest.
+		b.head = (b.head + 1) % len(b.buf)
+		b.n--
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = Numbered{Seq: b.next, Ev: e}
+	b.n++
+	b.next++
+	for _, s := range b.subs {
+		s.wake()
+	}
+	b.mu.Unlock()
+}
+
+// Close marks the stream complete. Subscribers drain the retained tail
+// and then observe stream end; further Emits are discarded. Idempotent.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	b.closed = true
+	for _, s := range b.subs {
+		s.wake()
+	}
+	b.mu.Unlock()
+}
+
+// startSeqLocked returns the sequence number of the oldest retained
+// event. Caller holds b.mu.
+func (b *Broker) startSeqLocked() uint64 {
+	return b.next - uint64(b.n)
+}
+
+// Stats reports the broker's lifetime counters: events published,
+// events dropped across all subscribers, and currently attached
+// subscribers.
+func (b *Broker) Stats() (published, dropped uint64, subscribers int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next, b.droppedTotal, len(b.subs)
+}
+
+// Subscribe attaches a consumer whose cursor starts at sequence
+// number from (0 replays from the start). If the ring has already
+// evicted past from, the cursor snaps forward and the gap counts as
+// dropped on the first read.
+func (b *Broker) Subscribe(from uint64) *Sub {
+	s := &Sub{b: b, cursor: from, ch: make(chan struct{}, 1)}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	return s
+}
+
+// Sub is one subscriber's cursor into the broker's stream. Use from a
+// single goroutine.
+type Sub struct {
+	b       *Broker
+	cursor  uint64
+	dropped uint64
+	ch      chan struct{}
+	closed  bool
+}
+
+// wake nudges a possibly-waiting subscriber. Caller holds b.mu; the
+// send never blocks (the channel buffers one nudge, and one is
+// enough).
+func (s *Sub) wake() {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the next event at or after the subscriber's cursor,
+// blocking until one is published, the stream closes, or ctx is done.
+// gap is the number of events the slow-client policy dropped between
+// the previous read and this one (0 in the common case). ok=false
+// means no more events will come: either the stream closed and the
+// tail is drained (err nil) or the context ended first (err is the
+// context's error).
+func (s *Sub) Next(ctx context.Context) (n Numbered, gap uint64, ok bool, err error) {
+	for {
+		b := s.b
+		b.mu.Lock()
+		if start := b.startSeqLocked(); s.cursor < start {
+			g := start - s.cursor
+			s.dropped += g
+			b.droppedTotal += g
+			gap += g
+			s.cursor = start
+		}
+		if s.cursor < b.next {
+			idx := (b.head + int(s.cursor-b.startSeqLocked())) % len(b.buf)
+			n = b.buf[idx]
+			s.cursor++
+			b.mu.Unlock()
+			return n, gap, true, nil
+		}
+		closed := b.closed
+		b.mu.Unlock()
+		if closed {
+			return Numbered{}, gap, false, nil
+		}
+		select {
+		case <-s.ch:
+		case <-ctx.Done():
+			return Numbered{}, gap, false, ctx.Err()
+		}
+	}
+}
+
+// Dropped returns the total events this subscriber lost to the
+// slow-client policy so far.
+func (s *Sub) Dropped() uint64 { return s.dropped }
+
+// Close detaches the subscriber from the broker. Idempotent.
+func (s *Sub) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	b := s.b
+	b.mu.Lock()
+	for i, sub := range b.subs {
+		if sub == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}

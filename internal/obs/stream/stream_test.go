@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"overcell/internal/obs"
+)
+
+func ev(i int) obs.Event {
+	return obs.Event{Type: obs.EvNetDone, Net: "n", Rank: i}
+}
+
+// drain collects everything the subscriber can read until stream end.
+func drain(t *testing.T, s *Sub) (evs []Numbered, dropped uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		n, gap, ok, err := s.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		dropped += gap
+		if !ok {
+			return evs, dropped
+		}
+		evs = append(evs, n)
+	}
+}
+
+func TestStreamOrderAndSeq(t *testing.T) {
+	b := NewBroker(0)
+	for i := 0; i < 100; i++ {
+		b.Emit(ev(i))
+	}
+	b.Close()
+	s := b.Subscribe(0)
+	defer s.Close()
+	evs, dropped := drain(t, s)
+	if dropped != 0 {
+		t.Fatalf("fast subscriber dropped %d events", dropped)
+	}
+	if len(evs) != 100 {
+		t.Fatalf("got %d events, want 100", len(evs))
+	}
+	for i, n := range evs {
+		if n.Seq != uint64(i) || n.Ev.Rank != i {
+			t.Fatalf("event %d: seq=%d rank=%d", i, n.Seq, n.Ev.Rank)
+		}
+	}
+}
+
+func TestLateJoinerReplaysFromStart(t *testing.T) {
+	b := NewBroker(0)
+	for i := 0; i < 10; i++ {
+		b.Emit(ev(i))
+	}
+	// Joined after 10 events were published; the ring still retains
+	// everything, so replay starts at seq 0.
+	s := b.Subscribe(0)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		b.Emit(ev(10 + i))
+	}
+	b.Close()
+	evs, dropped := drain(t, s)
+	if dropped != 0 {
+		t.Fatalf("late joiner dropped %d events", dropped)
+	}
+	if len(evs) != 15 || evs[0].Seq != 0 || evs[14].Seq != 14 {
+		t.Fatalf("late joiner saw %d events, first=%v", len(evs), evs[0])
+	}
+}
+
+func TestSlowClientDropPolicy(t *testing.T) {
+	b := NewBroker(8)
+	s := b.Subscribe(0)
+	defer s.Close()
+	// Publish far past the ring capacity before the subscriber reads a
+	// single event: the oldest events are evicted, never blocking Emit.
+	for i := 0; i < 100; i++ {
+		b.Emit(ev(i))
+	}
+	b.Close()
+	evs, dropped := drain(t, s)
+	if dropped != 92 {
+		t.Fatalf("dropped = %d, want 92 (100 published, ring of 8)", dropped)
+	}
+	if s.Dropped() != 92 {
+		t.Fatalf("Dropped() = %d, want 92", s.Dropped())
+	}
+	if len(evs) != 8 || evs[0].Seq != 92 || evs[7].Seq != 99 {
+		t.Fatalf("retained window = %d events starting at %d", len(evs), evs[0].Seq)
+	}
+	if _, d, _ := b.Stats(); d != 92 {
+		t.Fatalf("broker dropped total = %d, want 92", d)
+	}
+}
+
+func TestResumeFromSequence(t *testing.T) {
+	b := NewBroker(0)
+	for i := 0; i < 20; i++ {
+		b.Emit(ev(i))
+	}
+	b.Close()
+	// Last-Event-ID semantics: the client saw seq 11, resumes at 12.
+	s := b.Subscribe(12)
+	defer s.Close()
+	evs, dropped := drain(t, s)
+	if dropped != 0 {
+		t.Fatalf("resume dropped %d events", dropped)
+	}
+	if len(evs) != 8 || evs[0].Seq != 12 {
+		t.Fatalf("resume saw %d events starting at %v", len(evs), evs[0].Seq)
+	}
+}
+
+func TestResumePastEvictionCountsGap(t *testing.T) {
+	b := NewBroker(4)
+	for i := 0; i < 50; i++ {
+		b.Emit(ev(i))
+	}
+	b.Close()
+	// The client remembers seq 9, but the ring starts at 46 now.
+	s := b.Subscribe(10)
+	defer s.Close()
+	evs, dropped := drain(t, s)
+	if dropped != 36 {
+		t.Fatalf("dropped = %d, want 36 (resume at 10, window starts at 46)", dropped)
+	}
+	if len(evs) != 4 || evs[0].Seq != 46 {
+		t.Fatalf("resume saw %d events starting at %d", len(evs), evs[0].Seq)
+	}
+}
+
+func TestBlockingNextWakesOnEmit(t *testing.T) {
+	b := NewBroker(0)
+	s := b.Subscribe(0)
+	defer s.Close()
+	got := make(chan Numbered, 1)
+	go func() {
+		n, _, ok, err := s.Next(context.Background())
+		if err != nil || !ok {
+			t.Errorf("Next: ok=%v err=%v", ok, err)
+		}
+		got <- n
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader park
+	b.Emit(ev(7))
+	select {
+	case n := <-got:
+		if n.Seq != 0 || n.Ev.Rank != 7 {
+			t.Fatalf("woke with %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Next never woke on Emit")
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	b := NewBroker(0)
+	s := b.Subscribe(0)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, ok, err := s.Next(ctx); ok || err == nil {
+		t.Fatalf("canceled Next: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCloseDrainsTail(t *testing.T) {
+	b := NewBroker(0)
+	s := b.Subscribe(0)
+	defer s.Close()
+	b.Emit(ev(0))
+	b.Emit(ev(1))
+	b.Close()
+	b.Emit(ev(2)) // post-close emit is discarded
+	evs, _ := drain(t, s)
+	if len(evs) != 2 {
+		t.Fatalf("drained %d events after close, want 2", len(evs))
+	}
+	if pub, _, _ := b.Stats(); pub != 2 {
+		t.Fatalf("published = %d after post-close emit, want 2", pub)
+	}
+}
+
+func TestSubscriberCountInStats(t *testing.T) {
+	b := NewBroker(0)
+	s1 := b.Subscribe(0)
+	s2 := b.Subscribe(0)
+	if _, _, n := b.Stats(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2", n)
+	}
+	s1.Close()
+	s1.Close() // idempotent
+	if _, _, n := b.Stats(); n != 1 {
+		t.Fatalf("subscribers = %d after close, want 1", n)
+	}
+	s2.Close()
+}
+
+// TestConcurrentPublishSubscribe exercises the broker under the race
+// detector: one publisher, several subscribers joining at different
+// times, all draining to stream end.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBroker(0)
+	const total = 2000
+	var wg sync.WaitGroup
+	results := make([]int, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			s := b.Subscribe(0)
+			defer s.Close()
+			evs, _ := drain(t, s)
+			results[slot] = len(evs)
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq != evs[j-1].Seq+1 {
+					t.Errorf("subscriber %d: seq gap %d -> %d", slot, evs[j-1].Seq, evs[j].Seq)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < total; i++ {
+		b.Emit(ev(i))
+	}
+	b.Close()
+	wg.Wait()
+	for slot, n := range results {
+		if n != total {
+			t.Fatalf("subscriber %d saw %d/%d events", slot, n, total)
+		}
+	}
+}

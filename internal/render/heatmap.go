@@ -51,13 +51,7 @@ func HeatmapSVG(w io.Writer, h *obs.Heatmap) error {
 			}
 			// Two-stop ramp: white->yellow over [0,0.5], yellow->red over
 			// [0.5,1].
-			var red, green int
-			if occ < 0.5 {
-				red, green = 255, 255
-			} else {
-				red, green = 255, int(255*(1-occ)*2)
-			}
-			blue := int(255 * (1 - minf(occ*2, 1)))
+			red, green, blue := heatColor(occ)
 			fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"><title>tile (%d,%d) occ=%.2f</title></rect>`+"\n",
 				c*tile, (h.Rows-1-r)*tile, tile, tile, red, green, blue, c, r, occ)
 		}

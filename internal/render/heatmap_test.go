@@ -2,12 +2,14 @@ package render
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
 	"overcell/internal/geom"
 	"overcell/internal/grid"
 	"overcell/internal/obs"
+	"overcell/internal/obs/congest"
 )
 
 func heatmapExample(t *testing.T) *obs.Heatmap {
@@ -38,6 +40,66 @@ func TestHeatmapASCII(t *testing.T) {
 	}
 	if HeatmapASCII(h) != out {
 		t.Error("ASCII heatmap not deterministic")
+	}
+}
+
+func TestCongestionSVG(t *testing.T) {
+	rep := &congest.Report{
+		Win: 8, Cols: 2, Rows: 1, OverflowBP: 8000,
+		Samples: []congest.Sample{
+			{Rank: 1, Net: "a", PeakBP: 0},
+			{Rank: 2, Net: "b", PeakBP: 9000, Overflow: 1},
+		},
+		Frames: [][]int{{0, 0}, {9000, 0}},
+	}
+	var buf bytes.Buffer
+	if err := CongestionSVG(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an svg document:\n%s", out)
+	}
+	if !strings.Contains(out, "<animate") {
+		t.Fatalf("animated frames missing:\n%s", out)
+	}
+
+	// Empty report degrades to the placeholder, not an error.
+	buf.Reset()
+	if err := CongestionSVG(&buf, &congest.Report{Win: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no congestion samples") {
+		t.Fatalf("placeholder missing:\n%s", buf.String())
+	}
+}
+
+func TestCongestionSVGStridesLongSeries(t *testing.T) {
+	rep := &congest.Report{Win: 8, Cols: 1, Rows: 1}
+	for i := 0; i < 500; i++ {
+		rep.Samples = append(rep.Samples, congest.Sample{Rank: i + 1, Net: "n"})
+		rep.Frames = append(rep.Frames, []int{i * 20})
+	}
+	var buf bytes.Buffer
+	if err := CongestionSVG(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	// One animated tile: its values list must hold at most
+	// maxAnimFrames+1 colour stops, and end on the final frame's colour.
+	out := buf.String()
+	vi := strings.Index(out, `values="rgb`)
+	if vi < 0 {
+		t.Fatalf("no animated values list:\n%s", out[:200])
+	}
+	list := out[vi+len(`values="`):]
+	list = list[:strings.Index(list, `"`)]
+	stops := strings.Count(list, ";") + 1
+	if stops > maxAnimFrames+1 {
+		t.Fatalf("%d colour stops, want <= %d", stops, maxAnimFrames+1)
+	}
+	r, g, b := heatColor(float64(499*20) / 10000)
+	if !strings.HasSuffix(list, fmt.Sprintf("rgb(%d,%d,%d)", r, g, b)) {
+		t.Fatalf("final frame colour missing from %q", list[len(list)-40:])
 	}
 }
 

@@ -168,6 +168,8 @@ func (s *Server) requeue(st *journal.RunState) bool {
 		s.transition(ru, StateFailed, nil, fmt.Errorf("recovery: %w", err))
 		close(ru.done)
 		s.recovered["failed"].Inc()
+		s.log.Warn("journaled run unrecoverable",
+			"run_id", ru.id, "flow", st.Flow, "error", err.Error())
 		return false
 	}
 	ctx, cancel := context.WithCancel(s.cfg.BaseCtx)
@@ -175,6 +177,10 @@ func (s *Server) requeue(st *journal.RunState) bool {
 	s.mu.Lock()
 	s.runs[ru.id] = ru
 	s.order = append(s.order, ru.id)
+	// Requeued runs are live again: give them the same event broker and
+	// congestion series a fresh submission would get, so SSE clients can
+	// watch the re-execution from its start.
+	s.attachTelemetry(ru)
 	s.mu.Unlock()
 	req := jobRequest{
 		Flow: st.Flow, DeadlineMS: st.Opts.DeadlineMS,
@@ -183,6 +189,9 @@ func (s *Server) requeue(st *journal.RunState) bool {
 		Workers: st.Opts.Workers,
 	}
 	s.recovered["requeued"].Inc()
+	s.log.Info("run requeued from journal",
+		"run_id", ru.id, "flow", st.Flow, "instance", st.Name,
+		"instance_hash", st.InstanceHash)
 	go s.execute(ctx, ru, fn, inst, req)
 	return true
 }

@@ -4,11 +4,14 @@
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness probe ("ok")
+//	GET  /healthz              liveness probe ("ok overcell <version>")
 //	GET  /metrics              Prometheus text-format registry scrape
 //	POST /runs                 submit a routing job (instance JSON)
-//	GET  /runs                 JSON list of runs, newest first
+//	GET  /runs                 JSON list of runs, newest first (?state= filters)
 //	GET  /runs/{id}            one run: state, result, span summary
+//	GET  /runs/{id}/events     live SSE event stream (Last-Event-ID resume)
+//	GET  /runs/{id}/congestion   commit-boundary congestion time-series (JSON)
+//	GET  /runs/{id}/congestion.svg  animated congestion heatmap
 //	GET  /runs/{id}/heatmap.svg  congestion heatmap of a finished run
 //	GET  /runs/{id}/perf       perf-attribution report (live snapshot mid-run)
 //	DELETE /runs/{id}          cancel an active run
@@ -26,14 +29,19 @@
 // MaxPending caps the queue behind it, and a full queue rejects
 // further submissions with 503.
 //
-// Every run feeds four observers at once: the shared goroutine-safe
+// Every run feeds six observers at once: the shared goroutine-safe
 // metrics registry adapter (live /metrics counters), a per-run
 // span.Builder (the run → phase → net trace), a per-run obs.Collector
-// (the aggregate summary shown in the run detail), and a per-run
+// (the aggregate summary shown in the run detail), a per-run
 // perf.Collector (the /runs/{id}/perf attribution report, folded into
-// the cumulative ocroute_perf_* families when the run finishes). Runs
-// execute under pprof labels (run, phase, worker, net), so profiles
-// captured via /debug/pprof while a job routes are attributable.
+// the cumulative ocroute_perf_* families when the run finishes), a
+// per-run stream.Broker (the /runs/{id}/events SSE fan-out) and a
+// per-run congest.Series (the /runs/{id}/congestion time-series,
+// sampled at net commit boundaries). Runs execute under pprof labels
+// (run, phase, worker, net), so profiles captured via /debug/pprof
+// while a job routes are attributable. Config.StreamCap = -1 turns the
+// stream and congestion observers off entirely, restoring the PR 8
+// tracer chain.
 package serve
 
 import (
@@ -42,8 +50,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -52,9 +63,11 @@ import (
 	"overcell/internal/flow"
 	"overcell/internal/gen"
 	"overcell/internal/obs"
+	"overcell/internal/obs/congest"
 	"overcell/internal/obs/metrics"
 	"overcell/internal/obs/perf"
 	"overcell/internal/obs/span"
+	"overcell/internal/obs/stream"
 	"overcell/internal/render"
 	"overcell/internal/robust"
 	"overcell/internal/robust/fault"
@@ -108,6 +121,23 @@ type Config struct {
 	// RetrySleep overrides the backoff sleeper (tests inject an
 	// immediate one). Nil means a timer bounded by the run's context.
 	RetrySleep func(time.Duration)
+	// StreamCap sizes each run's event-stream ring buffer (events
+	// retained for SSE replay and Last-Event-ID resume). 0 means
+	// stream.DefaultCap; negative disables live telemetry entirely — no
+	// broker, no congestion series, the PR 8 tracer chain — for callers
+	// that want the routing hot path free of every telemetry branch.
+	StreamCap int
+	// StreamHeartbeat is the SSE keep-alive comment interval while no
+	// events flow. 0 means 15s.
+	StreamHeartbeat time.Duration
+	// Version, when non-empty, is echoed in the /healthz body
+	// ("ok overcell <version>") and published as
+	// ocroute_build_info{version,go} 1.
+	Version string
+	// Logger receives the server's structured lifecycle log (submits,
+	// attempts, transitions, recovery, drain), every record correlated
+	// by run_id and attempt. Nil discards.
+	Logger *slog.Logger
 }
 
 type flowFn func(*gen.Instance, flow.Options) (*flow.Result, error)
@@ -135,6 +165,19 @@ type Server struct {
 	journalErrs *metrics.Counter
 	drainG      *metrics.Gauge
 	draining    atomic.Bool
+	log         *slog.Logger
+
+	// Live-telemetry families (PR 9): the event-stream fan-out and the
+	// commit-boundary congestion series.
+	streamEvents  *metrics.Counter // published to run brokers, folded at run end
+	streamDropped *metrics.Counter // slow-subscriber drops, counted as observed
+	streamSubs    *metrics.Gauge   // currently attached SSE subscribers
+	queueWait     *metrics.Histogram
+	congestSamples *metrics.Counter
+	congestPeak    *metrics.Gauge
+	congestOver    *metrics.Gauge
+	congestUtilH   *metrics.Gauge
+	congestUtilV   *metrics.Gauge
 
 	// ocroute_perf_* families: cumulative perf-report attribution
 	// folded in as each run finishes. Pre-registered so the families
@@ -183,6 +226,12 @@ type run struct {
 	builder   *span.Builder
 	collector *obs.Collector
 	perf      *perf.Collector
+	// broker fans the run's events out to SSE subscribers; series
+	// records the commit-boundary congestion samples. Both nil when
+	// Config.StreamCap < 0 and on runs recovered in a terminal state
+	// (their event history died with the old process).
+	broker *stream.Broker
+	series *congest.Series
 
 	res    *flow.Result
 	resRec *RunResult // summary view; survives restarts when res cannot
@@ -202,6 +251,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.BaseCtx == nil {
 		cfg.BaseCtx = context.Background()
+	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	reg := metrics.NewRegistry()
 	s := &Server{
@@ -223,6 +278,7 @@ func New(cfg Config) *Server {
 			"Submissions rejected because the pending-run queue was full."),
 		httpReqs: reg.Counter("ocserved_http_requests_total", "HTTP requests served."),
 	}
+	s.log = cfg.Logger
 	for _, st := range []string{StateDone, StatePartial, StateFailed, StateCanceled} {
 		s.finished[st] = reg.Counter("ocserved_runs_finished_total",
 			"Routing runs finished, by final state.", metrics.L("state", st))
@@ -260,6 +316,31 @@ func New(cfg Config) *Server {
 		"Committer time spent serially re-routing discarded speculations.")
 	s.perfWindowConf = reg.Counter("ocroute_perf_window_conflicts_total",
 		"Speculations discarded because an earlier commit touched their dilated read window.")
+	s.streamEvents = reg.Counter("ocserved_stream_events_total",
+		"Events published to run event-stream brokers, folded in as each run finishes.")
+	s.streamDropped = reg.Counter("ocserved_stream_dropped_total",
+		"Events lost to the slow-subscriber drop policy (ring eviction before the subscriber read them).")
+	s.streamSubs = reg.Gauge("ocserved_stream_subscribers",
+		"SSE event-stream subscribers currently attached.")
+	s.queueWait = reg.Histogram("ocserved_run_queue_wait_ms",
+		"Time runs spent queued for a routing slot, submission to routing start.")
+	s.congestSamples = reg.Counter("ocroute_congestion_samples_total",
+		"Commit-boundary congestion samples recorded across all runs.")
+	s.congestPeak = reg.Gauge("ocroute_congestion_peak_occupancy_bp",
+		"Hottest congestion tile of the most recent net commit, in basis points.")
+	s.congestOver = reg.Gauge("ocroute_congestion_overflow_tiles",
+		"Tiles at or over the overflow threshold after the most recent net commit.")
+	s.congestUtilH = reg.Gauge("ocroute_congestion_track_util_bp",
+		"Whole-grid track utilisation after the most recent net commit, in basis points, by layer.",
+		metrics.L("layer", "h"))
+	s.congestUtilV = reg.Gauge("ocroute_congestion_track_util_bp",
+		"Whole-grid track utilisation after the most recent net commit, in basis points, by layer.",
+		metrics.L("layer", "v"))
+	if cfg.Version != "" {
+		reg.Gauge("ocroute_build_info",
+			"Build metadata; the value is always 1.",
+			metrics.L("version", cfg.Version), metrics.L("go", runtime.Version())).Set(1)
+	}
 	s.routes()
 	return s
 }
@@ -278,6 +359,12 @@ func (s *Server) routes() {
 			fmt.Fprintln(w, "draining")
 			return
 		}
+		// The version rides after the "ok" token so `grep -q ok` probes
+		// keep working while humans and dashboards see the build.
+		if s.cfg.Version != "" {
+			fmt.Fprintln(w, "ok overcell", s.cfg.Version)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -292,6 +379,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /runs/{id}/heatmap.svg", s.handleHeatmap)
 	s.mux.HandleFunc("GET /runs/{id}/perf", s.handlePerf)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /runs/{id}/congestion", s.handleCongestion)
+	s.mux.HandleFunc("GET /runs/{id}/congestion.svg", s.handleCongestionSVG)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -425,6 +515,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel()
 		s.rejected.Inc()
+		s.log.Warn("run rejected: pending queue full",
+			"flow", req.Flow, "instance", inst.Name, "max_pending", s.cfg.MaxPending)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "pending run queue full", http.StatusServiceUnavailable)
 		return
@@ -440,10 +532,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		collector: obs.NewCollector(),
 		perf:      perf.New(perf.Options{Run: id}),
 	}
+	s.attachTelemetry(ru)
 	s.runs[id] = ru
 	s.order = append(s.order, id)
 	evicted := s.evictLocked()
 	s.mu.Unlock()
+	s.log.Info("run accepted",
+		"run_id", id, "flow", req.Flow, "instance", inst.Name,
+		"instance_hash", instHash, "wait", req.Wait)
 
 	// The accepted record is the run's durable birth certificate: the
 	// canonical payload plus every knob needed to re-execute it. It is
@@ -502,12 +598,21 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 	}
 	ru.state = StateRunning
 	ru.started = time.Now() //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
+	queued := ru.started.Sub(ru.submitted)
 	s.mu.Unlock()
+	s.queueWait.Observe(queued.Milliseconds())
 	s.active.Inc()
 	defer s.active.Dec()
 
+	// The broker joins the tracer chain only when live telemetry is on
+	// (a nil *stream.Broker must never reach Combine: the interface
+	// would be non-nil and its Emit would dereference the nil pointer).
+	trs := []obs.Tracer{s.mtr, ru.builder, ru.collector}
+	if ru.broker != nil {
+		trs = append(trs, ru.broker)
+	}
 	opts := flow.Options{
-		Tracer: obs.Combine(s.mtr, ru.builder, ru.collector),
+		Tracer: obs.Combine(trs...),
 		Ctx:    ctx,
 		Limits: robust.Limits{
 			NetExpansions:   req.NetBudget,
@@ -526,6 +631,9 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.Workers
 	}
+	if ru.series != nil {
+		opts.Congest = &congestObserver{series: ru.series, s: s}
+	}
 	// Supervised execution: each attempt is journaled before it routes
 	// (so a crash mid-attempt requeues on restart), and retryable
 	// failures — internal invariant violations, recovered panics — are
@@ -538,7 +646,11 @@ func (s *Server) execute(ctx context.Context, ru *run, fn flowFn, inst *gen.Inst
 		s.mu.Unlock()
 		if attempt > 1 {
 			s.retries.Inc()
+			s.log.Warn("retrying run after retryable failure", "run_id", ru.id, "attempt", attempt)
 		}
+		s.log.Info("run attempt started",
+			"run_id", ru.id, "attempt", attempt, "flow", ru.flowName,
+			"queue_wait_ms", queued.Milliseconds())
 		s.journalAppend(&journal.Record{
 			Kind: journal.KindStarted, Run: ru.id, Attempt: attempt,
 			Time: time.Now(), //oc:clock-ok run lifecycle timestamps are ops metadata, not routing inputs
@@ -595,9 +707,31 @@ func (s *Server) transition(ru *run, state string, res *flow.Result, err error) 
 		ru.resultHash = flow.Hash(res)
 	}
 	rec := terminalRecord(ru, state)
+	var dur time.Duration
+	if !ru.started.IsZero() {
+		dur = ru.finished.Sub(ru.started)
+	}
+	attempts := ru.attempts
 	s.mu.Unlock()
 	if c, ok := s.finished[state]; ok {
 		c.Inc()
+	}
+	// End of stream: SSE subscribers drain the retained tail and see the
+	// end marker; the published count folds into the cumulative family.
+	if ru.broker != nil {
+		ru.broker.Close()
+		published, _, _ := ru.broker.Stats()
+		s.streamEvents.Add(int64(published))
+	}
+	logAttrs := []any{
+		"run_id", ru.id, "state", state, "attempt", attempts,
+		"duration_ms", dur.Milliseconds(),
+	}
+	if err != nil {
+		logAttrs = append(logAttrs, "error", err.Error())
+		s.log.Warn("run finished", logAttrs...)
+	} else {
+		s.log.Info("run finished", logAttrs...)
 	}
 	fault.Crash("serve.finish")
 	s.journalAppend(rec)
@@ -774,7 +908,13 @@ type RunStatus struct {
 	Speculations int64         `json:"speculations,omitempty"`
 	Conflicts    int64         `json:"conflicts,omitempty"`
 	Result       *RunResult    `json:"result,omitempty"`
-	Spans        *span.Summary `json:"spans,omitempty"`
+	// StreamEvents / StreamDropped report the run's event-stream fan-out:
+	// events published to the broker and events dropped across all
+	// subscribers that fell behind the ring buffer. Zero when streaming
+	// is disabled.
+	StreamEvents  uint64        `json:"stream_events,omitempty"`
+	StreamDropped uint64        `json:"stream_dropped,omitempty"`
+	Spans         *span.Summary `json:"spans,omitempty"`
 	// Summary is the per-run collector report (detail view only).
 	Summary string `json:"summary,omitempty"`
 	// SpanTree is the full span list (detail view with ?spans=1).
@@ -805,6 +945,9 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 		st.Finished = &t
 	}
 	st.Result = ru.resRec
+	if ru.broker != nil {
+		st.StreamEvents, st.StreamDropped, _ = ru.broker.Stats()
+	}
 	s.mu.Unlock()
 	st.Workers, st.Speculations, st.Conflicts = ru.perf.Quick()
 	if detail {
@@ -814,7 +957,16 @@ func (s *Server) status(ru *run, detail bool) RunStatus {
 	return st
 }
 
+// handleList serves GET /runs. The order is stable and documented:
+// newest submission first (descending run id), recovered history
+// included in its original submission order. ?state= keeps only runs
+// in the named state (pending/running/done/partial/failed/canceled).
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("state")
+	if filter != "" && filter != StatePending && filter != StateRunning && !terminalState(filter) {
+		http.Error(w, fmt.Sprintf("unknown state %q", filter), http.StatusBadRequest)
+		return
+	}
 	s.mu.Lock()
 	ids := make([]string, len(s.order))
 	copy(ids, s.order)
@@ -825,9 +977,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		ru, ok := s.runs[ids[i]]
 		s.mu.Unlock()
-		if ok {
-			out = append(out, s.status(ru, false))
+		if !ok {
+			continue
 		}
+		st := s.status(ru, false)
+		if filter != "" && st.State != filter {
+			continue
+		}
+		out = append(out, st)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, out)

@@ -1,0 +1,19 @@
+// Package version carries the build's version string, shared by the
+// ocroute and ocserved -version flags, the /healthz body, and the
+// ocroute_build_info metric.
+package version
+
+import "runtime"
+
+// Version identifies the build. Release builds override it at link
+// time:
+//
+//	go build -ldflags "-X overcell/internal/version.Version=v1.2.3"
+var Version = "v0.9.0-dev"
+
+// String returns the version string.
+func String() string { return Version }
+
+// Go returns the Go toolchain version the binary was built with, the
+// second label of ocroute_build_info.
+func Go() string { return runtime.Version() }
