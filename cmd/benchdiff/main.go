@@ -6,6 +6,7 @@
 //	                                           BENCH_*.json (excluding the arg)
 //	benchdiff -max-regress 0.05 old.json new.json
 //	benchdiff -warn -o delta.md old.json new.json
+//	benchdiff -warn -gate-allocs 'levelb/nets100/,table2/ami33' old.json new.json
 //
 // The delta table is written as markdown to stdout (or -o). Exit
 // status: 0 when no shared workload regressed, 1 on regression (unless
@@ -22,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"overcell/internal/obs"
 )
@@ -30,6 +32,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0, "tolerated fractional ns/op slowdown (0 = default 0.10, negative disables)")
 	maxAlloc := flag.Float64("max-alloc-regress", 0, "tolerated fractional allocs/op growth (0 = default 0.10, negative disables)")
 	warn := flag.Bool("warn", false, "report regressions but exit 0")
+	gateAllocs := flag.String("gate-allocs", "", "comma-separated workload-name prefixes whose allocs/op regressions fail even with -warn and across host mismatch")
 	ignoreHost := flag.Bool("ignore-host", false, "gate even when snapshots come from different hosts")
 	out := flag.String("o", "", "write the markdown table to this file instead of stdout")
 	flag.Parse()
@@ -58,10 +61,18 @@ func main() {
 		die(err)
 	}
 
+	var gates []string
+	for _, p := range strings.Split(*gateAllocs, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			gates = append(gates, p)
+		}
+	}
+
 	d := obs.DiffBench(oldF, newF, obs.DiffOptions{
 		MaxRegress:      *maxRegress,
 		MaxAllocRegress: *maxAlloc,
 		IgnoreHost:      *ignoreHost,
+		GateAllocs:      gates,
 	})
 
 	w := os.Stdout
@@ -77,6 +88,13 @@ func main() {
 		die(err)
 	}
 
+	if d.AllocGated() {
+		// The allocs gate is deliberately immune to -warn: allocation
+		// counts are deterministic, so a growth on a gated workload is
+		// a real regression wherever it was measured.
+		fmt.Fprintln(os.Stderr, "benchdiff: allocs/op gate tripped")
+		os.Exit(1)
+	}
 	if d.Regressed() {
 		if *warn {
 			fmt.Fprintln(os.Stderr, "benchdiff: regression detected (warn-only, exit 0)")

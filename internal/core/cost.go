@@ -23,6 +23,10 @@ type costEvaluator struct {
 	// by the net's own tree are free, so paths that ride the existing
 	// tree are preferred over parallel duplicates.
 	own *shape
+	// cbuf is the reusable corner-point buffer: cost and selectBest
+	// enumerate corners once per candidate path, which used to allocate
+	// a fresh slice per candidate.
+	cbuf []tig.Point
 }
 
 func newCostEvaluator(g *grid.Grid, w Weights) *costEvaluator {
@@ -121,7 +125,8 @@ func (e *costEvaluator) base(p tig.Path) float64 {
 //oc:hotpath
 func (e *costEvaluator) cost(p tig.Path) float64 {
 	c := e.base(p)
-	for _, corner := range p.CornerPoints() {
+	e.cbuf = p.AppendCorners(e.cbuf[:0])
+	for _, corner := range e.cbuf {
 		c += e.cornerCost(corner)
 	}
 	return c
@@ -150,7 +155,8 @@ func (e *costEvaluator) selectBest(paths []tig.Path) (tig.Path, float64, int) {
 			continue
 		}
 		pruned := false
-		for _, corner := range p.CornerPoints() {
+		e.cbuf = p.AppendCorners(e.cbuf[:0])
+		for _, corner := range e.cbuf {
 			partial += e.cornerCost(corner)
 			if partial >= bestCost {
 				pruned = true

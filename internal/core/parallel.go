@@ -42,8 +42,10 @@ import (
 	"time"
 
 	"overcell/internal/geom"
+	"overcell/internal/grid"
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
+	"overcell/internal/robust"
 	"overcell/internal/tig"
 )
 
@@ -170,8 +172,26 @@ type speculation struct {
 	// (no sharing) and read by the committer after the join. Zero when
 	// no PerfObserver is attached.
 	t0, t1  time.Time
-	cells   int   // snapshot clone size in grid cells
+	cells   int   // per-track copies the COW snapshot materialised
 	charges int64 // budget-fork charge batches
+}
+
+// workerEnv is the reusable speculation environment of one worker slot:
+// a copy-on-write grid snapshot, a budget fork, a buffering recorder,
+// a cost evaluator bound to the snapshot, a TIG searcher and a scratch
+// Result. The committer re-arms it serially at each batch boundary
+// (workerEnv below); between spawn and join exactly one worker
+// goroutine owns it, and nothing it holds outlives the batch except
+// the NetRoute/shape the routing attempt allocates fresh per net.
+type workerEnv struct {
+	snap    *grid.Grid
+	fork    *robust.Budget
+	rec     recorder
+	eval    *costEvaluator
+	read    readWindow
+	search  tig.Searcher
+	scratch Result
+	env     routeEnv
 }
 
 // routeAllSpeculative is the parallel form of the first pass. The
@@ -196,7 +216,8 @@ func (r *Router) routeAllSpeculative(env *routeEnv, ordered []*netlist.Net,
 				perf.BatchSpeculated()
 			}
 		}
-		delta := &batchDelta{}
+		delta := &r.delta
+		delta.entries = delta.entries[:0]
 		conflicts, committed := 0, 0
 		for bi, net := range batch {
 			if sticky = r.pollSticky(env, sticky); sticky != nil {
@@ -257,39 +278,79 @@ func (r *Router) routeAllSpeculative(env *routeEnv, ordered []*netlist.Net,
 }
 
 // speculate routes every net of the batch concurrently against
-// snapshots of the live grid and waits for all attempts. When the
-// config carries a pprof label context, each worker goroutine runs
-// under worker and net labels stacked on the caller's run/phase
-// labels, so CPU and heap profiles attribute per worker (DESIGN.md
-// section 15).
+// copy-on-write snapshots of the live grid and waits for all attempts.
+// Snapshots are taken (and worker environments re-armed) serially in
+// the spawn loop below: Resnapshot bumps the live grid's sharing
+// epoch, a mutation of the parent, so it must finish before any worker
+// can observe the grid. When the config carries a pprof label context,
+// each worker goroutine runs under worker and net labels stacked on
+// the caller's run/phase labels, so CPU and heap profiles attribute
+// per worker (DESIGN.md section 15).
 func (r *Router) speculate(env *routeEnv, batch []*netlist.Net, start int,
 	termPts map[netlist.NetID][]tig.Point) []*speculation {
-	specs := make([]*speculation, len(batch))
+	for len(r.specs) < len(batch) {
+		r.specs = append(r.specs, &speculation{})
+	}
+	specs := r.specs[:len(batch)]
 	var wg sync.WaitGroup
 	for bi, net := range batch {
-		sp := &speculation{
+		sp := specs[bi]
+		*sp = speculation{
 			net: net, terms: termPts[net.ID],
 			rank: start + bi + 1, worker: bi,
 		}
-		specs[bi] = sp
+		we := r.workerEnv(bi, env)
 		wg.Add(1)
 		if lctx := r.cfg.LabelCtx; lctx != nil {
 			labels := pprof.Labels("worker", r.workerName(bi), "net", net.Name)
 			go func() {
 				defer wg.Done()
 				pprof.Do(lctx, labels, func(context.Context) {
-					r.runSpeculation(env, sp)
+					r.runSpeculation(we, sp) //oc:workersafe slot state re-armed serially before spawn; single owner until the join
 				})
 			}()
 			continue
 		}
 		go func() {
 			defer wg.Done()
-			r.runSpeculation(env, sp)
+			r.runSpeculation(we, sp) //oc:workersafe slot state re-armed serially before spawn; single owner until the join
 		}()
 	}
 	wg.Wait()
 	return specs
+}
+
+// workerEnv returns worker slot bi's reusable environment, re-armed
+// against the live run: the grid snapshot re-aims at env.g via
+// Resnapshot (header copies only — steady state allocates nothing and
+// per-track copying happens lazily on first write), the budget fork
+// re-derives its headroom in place, and the recorder, read window and
+// scratch result truncate in place. Only the committer goroutine calls
+// it, before the batch's workers spawn — Resnapshot mutates the live
+// grid's sharing epoch, so it must never run concurrently with another
+// snapshot or with live-grid access.
+func (r *Router) workerEnv(bi int, env *routeEnv) *workerEnv {
+	for len(r.wenvs) <= bi {
+		r.wenvs = append(r.wenvs, &workerEnv{})
+	}
+	we := r.wenvs[bi]
+	if we.snap == nil {
+		we.snap = env.g.Clone()
+		we.eval = newCostEvaluator(we.snap, r.cfg.Weights)
+		we.read.pad = readPad(we.eval.w)
+	} else {
+		we.snap.Resnapshot(env.g)
+	}
+	we.fork = env.budget.ForkInto(we.fork)
+	we.rec.live = env.tr.Enabled()
+	we.rec.events = we.rec.events[:0]
+	we.read.rects = we.read.rects[:0]
+	we.scratch = Result{}
+	we.env = routeEnv{
+		g: we.snap, tr: &we.rec, budget: we.fork,
+		eval: we.eval, search: &we.search, read: &we.read,
+	}
+	return we
 }
 
 // workerName returns the cached "w<i>" pprof label value, growing the
@@ -302,37 +363,28 @@ func (r *Router) workerName(i int) string {
 	return r.workerNames[i]
 }
 
-// runSpeculation executes one net's routing attempt in isolation: a
-// private grid clone, a budget fork, a buffering tracer and a fresh
+// runSpeculation executes one net's routing attempt in isolation on
+// its worker slot's re-armed environment: a copy-on-write grid
+// snapshot, a reused budget fork, a buffering tracer and the slot's
 // cost evaluator (same normalisation — the track coordinates are
 // shared). A panic during speculation is swallowed by leaving sp.nr
 // nil: the committer then re-runs the net serially, where the failure
 // reproduces in the ordinary single-threaded context.
-func (r *Router) runSpeculation(env *routeEnv, sp *speculation) {
+func (r *Router) runSpeculation(we *workerEnv, sp *speculation) {
 	defer func() { _ = recover() }()
 	perf := r.cfg.Perf != nil
 	if perf {
 		sp.t0 = r.clk()
 	}
-	snap := env.g.Clone()
-	fork := env.budget.Fork()
-	rec := &recorder{live: env.tr.Enabled()}
-	eval := newCostEvaluator(snap, r.cfg.Weights)
-	senv := &routeEnv{
-		g: snap, tr: rec, budget: fork,
-		eval: eval,
-		read: &readWindow{pad: readPad(eval.w)},
-	}
-	scratch := &Result{}
-	nr, sh := r.routeNet(senv, sp.net, sp.terms, scratch, sp.rank)
-	sp.read = senv.read
-	sp.events = rec.events
-	sp.used = fork.Used()
-	sp.forkErr = fork.Err()
+	nr, sh := r.routeNet(&we.env, sp.net, sp.terms, &we.scratch, sp.rank)
+	sp.read = &we.read
+	sp.events = we.rec.events
+	sp.used = we.fork.Used()
+	sp.forkErr = we.fork.Err()
 	sp.sh = sh
 	if perf {
-		sp.cells = snap.NX() * snap.NY()
-		sp.charges = fork.Charges()
+		sp.cells = we.snap.SnapshotCopies()
+		sp.charges = we.fork.Charges()
 		sp.t1 = r.clk()
 	}
 	sp.nr = nr // set last: a nil nr marks a speculation that died mid-flight

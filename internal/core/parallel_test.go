@@ -12,6 +12,7 @@ import (
 	"overcell/internal/netlist"
 	"overcell/internal/obs"
 	"overcell/internal/robust"
+	"overcell/internal/tig"
 )
 
 // The worker-count equivalence tests are the enforcement of the
@@ -350,4 +351,198 @@ func TestBudgetTripDuringRecovery(t *testing.T) {
 		results = append(results, res)
 	}
 	assertResultsEqual(t, "budget-trip workers=1 vs 4", results[0], results[1])
+}
+
+// denseRipupInstance packs LCG-placed nets even tighter than
+// denseInstance, so the first pass leaves failures behind and recovery
+// has to rip up committed nets — the scenario the COW snapshots and
+// pooled scratch must survive byte-identically.
+func denseRipupInstance(t *testing.T) (*grid.Grid, *netlist.Netlist) {
+	t.Helper()
+	g := newGrid(t, 28, 28, 10)
+	nl := netlist.New()
+	seed := uint64(19)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	used := map[geom.Point]bool{}
+	pick := func() geom.Point {
+		for {
+			p := geom.Pt(next(28)*10, next(28)*10)
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			return p
+		}
+	}
+	for i := 0; i < 44; i++ {
+		nl.AddPoints(fmt.Sprintf("r%d", i), netlist.Signal, pick(), pick())
+	}
+	return g, nl
+}
+
+// TestWorkerCountEquivalenceRipupHeavy extends the byte-equivalence
+// suite with a rip-up-heavy dense instance: the parallel first pass
+// speculates under contention and serial recovery then rips up real
+// victims, all of it identical to the Workers=1 run.
+func TestWorkerCountEquivalenceRipupHeavy(t *testing.T) {
+	serial, serialEv := routeTraced(t, denseRipupInstance, 1, nil)
+	ripups := 0
+	for _, e := range serialEv {
+		if e.Type == obs.EvRipup {
+			ripups++
+		}
+	}
+	if ripups == 0 {
+		t.Fatal("instance triggered no rip-up attempts — the scenario proves nothing about recovery")
+	}
+	for _, w := range []int{2, 4} {
+		par, parEv := routeTraced(t, denseRipupInstance, w, nil)
+		assertResultsEqual(t, fmt.Sprintf("ripup-heavy workers=%d", w), serial, par)
+		assertEventsEqual(t, fmt.Sprintf("ripup-heavy workers=%d", w), serialEv, parEv)
+	}
+}
+
+// cowStressInstance stresses the copy-on-write snapshot protocol along
+// both of its axes: a first wave of nets confined to disjoint column
+// bands (speculations touch disjoint track ranges, so whole batches
+// commit and the live grid keeps detaching tracks epoch after epoch),
+// then a second wave crossing the shared grid center (overlapping read
+// windows force conflicts and serial re-runs on the freshly mutated
+// root).
+func cowStressInstance(t *testing.T) (*grid.Grid, *netlist.Netlist) {
+	t.Helper()
+	g := newGrid(t, 60, 30, 10)
+	nl := netlist.New()
+	for b := 0; b < 6; b++ {
+		x0 := (b*10 + 1) * 10
+		x1 := (b*10 + 8) * 10
+		nl.AddPoints(fmt.Sprintf("disj%d", b), netlist.Signal,
+			geom.Pt(x0, 10*(2+b)), geom.Pt(x1, 10*(25-b)))
+	}
+	for i := 0; i < 6; i++ {
+		nl.AddPoints(fmt.Sprintf("cross%d", i), netlist.Signal,
+			geom.Pt(10*(2+i), 10*(14+i%2)), geom.Pt(10*(57-i), 10*(15-i%2)))
+	}
+	return g, nl
+}
+
+// TestWorkerCountEquivalenceCOWStress drives disjoint-then-overlapping
+// track ranges through the COW snapshots at several worker counts and
+// checks the run is byte-identical to serial — and that the instance
+// really produced both clean commits and window conflicts.
+func TestWorkerCountEquivalenceCOWStress(t *testing.T) {
+	mut := func(cfg *Config) { cfg.Order = InputOrder }
+	serial, serialEv := routeTraced(t, cowStressInstance, 1, mut)
+	for _, w := range []int{2, 4} {
+		par, parEv := routeTraced(t, cowStressInstance, w, mut)
+		assertResultsEqual(t, fmt.Sprintf("cow-stress workers=%d", w), serial, par)
+		assertEventsEqual(t, fmt.Sprintf("cow-stress workers=%d", w), serialEv, parEv)
+		if w != 4 {
+			continue
+		}
+		speculated, conflicts := 0, 0
+		for _, e := range parEv {
+			if e.Type == obs.EvParallel {
+				speculated += e.Speculated
+				conflicts += e.Conflicts
+			}
+		}
+		if speculated == 0 || conflicts == 0 || conflicts >= speculated {
+			t.Fatalf("cow-stress exercised %d speculations / %d conflicts; need both commits and conflicts", speculated, conflicts)
+		}
+	}
+}
+
+// snapshotRoute deep-copies the externally visible slices of a
+// NetRoute, so a later routing run recycling pooled scratch would
+// diverge from the snapshot if any of them aliased that scratch.
+func snapshotRoute(nr *NetRoute) *NetRoute {
+	cpPts := func(s []tig.Point) []tig.Point {
+		if s == nil {
+			return nil
+		}
+		out := make([]tig.Point, len(s))
+		copy(out, s)
+		return out
+	}
+	cp := *nr
+	cp.Terminals = cpPts(nr.Terminals)
+	cp.Vias = cpPts(nr.Vias)
+	if nr.Segments != nil {
+		cp.Segments = make([]Segment, len(nr.Segments))
+		copy(cp.Segments, nr.Segments)
+	}
+	return &cp
+}
+
+// TestWorkerCountStickyTripScratchReuse is the escape-audit regression
+// for pooled scratch: a run whose budget trips sticky mid-rip-up under
+// Workers=4 returns a partial Result; routing more nets through the
+// same Router afterwards — recycling its worker environments, searcher
+// arenas and corner buffers — must not mutate a single byte of that
+// earlier Result.
+func TestWorkerCountStickyTripScratchReuse(t *testing.T) {
+	baseCfg := func() Config {
+		cfg := DefaultConfig()
+		cfg.Weights = LengthOnlyWeights()
+		cfg.Order = InputOrder
+		cfg.Workers = 4
+		return cfg
+	}
+	measure := func(ripupPasses int) int64 {
+		g, nl := ripupConflictInstance(t, 30)
+		cfg := baseCfg()
+		cfg.RipupPasses = ripupPasses
+		res, err := New(g, cfg).Route(nl.Nets())
+		if err != nil {
+			t.Fatalf("measuring run: %v", err)
+		}
+		return int64(res.Expanded)
+	}
+	e1 := measure(-1) // first pass only
+	e2 := measure(0)  // with recovery
+	if e2 < e1+2 {
+		t.Fatalf("recovery cost only %d expansions; cannot trip mid-rip-up", e2-e1)
+	}
+
+	g, nl := ripupConflictInstance(t, 30)
+	cfg := baseCfg()
+	cfg.Budget = robust.NewBudget(context.Background(), robust.Limits{TotalExpansions: e1 + (e2-e1)/2})
+	r := New(g, cfg)
+	res, err := r.Route(nl.Nets())
+	if !errors.Is(err, robust.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	snaps := make([]*NetRoute, len(res.Routes))
+	for i, nr := range res.Routes {
+		snaps[i] = snapshotRoute(nr)
+	}
+
+	// Churn every pooled buffer the Router owns: drop the sticky budget
+	// (white-box: Config is immutable to callers, but the pools hang off
+	// the Router) and route a second netlist through the same worker
+	// environments in the grid's untouched right half.
+	r.cfg.Budget = nil
+	churn := netlist.New()
+	for i := 0; i < 8; i++ {
+		churn.AddPoints(fmt.Sprintf("churn%d", i), netlist.Signal,
+			geom.Pt(10*(20+i), 0), geom.Pt(10*(21+i), 60))
+	}
+	if _, err := r.Route(churn.Nets()); err != nil {
+		t.Fatalf("churn run: %v", err)
+	}
+
+	for i, nr := range res.Routes {
+		want := snaps[i]
+		if !reflect.DeepEqual(nr.Terminals, want.Terminals) ||
+			!reflect.DeepEqual(nr.Segments, want.Segments) ||
+			!reflect.DeepEqual(nr.Vias, want.Vias) ||
+			nr.WireLength != want.WireLength || nr.Corners != want.Corners ||
+			nr.Expanded != want.Expanded {
+			t.Errorf("net %q's returned route changed after later runs recycled the router's scratch", nr.Net.Name)
+		}
+	}
 }

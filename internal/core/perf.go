@@ -17,9 +17,11 @@ type PerfObserver interface {
 	BatchSpeculated()
 	// Spec reports one speculation's private accounting as the
 	// committer reaches it: the worker slot that ran it, its routing
-	// start/end timestamps, the snapshot clone size in grid cells, the
-	// number of trace events it buffered, and its budget fork's
-	// expansion spend and charge-batch count.
+	// start/end timestamps, the number of per-track interval-set copies
+	// its copy-on-write snapshot materialised (the snapshot's real work
+	// — before COW snapshots this was the full clone size in grid
+	// cells), the number of trace events it buffered, and its budget
+	// fork's expansion spend and charge-batch count.
 	Spec(worker int, net string, start, end time.Time, cloneCells, bufferedEvents int, budgetUsed, budgetCharges int64)
 	// Validated reports the committer's verdict. committed=false with a
 	// non-empty conflictWith names the earlier net whose committed

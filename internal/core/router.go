@@ -78,6 +78,14 @@ type Router struct {
 	// batches don't re-concatenate them; grown only by the committer
 	// goroutine in speculate.
 	workerNames []string
+	// wenvs and specs are the parallel pass's reusable per-worker-slot
+	// environments and speculation records, re-armed serially at every
+	// batch boundary (see parallel.go); delta is the reusable batch
+	// delta. All three are owned by the committer goroutine whenever any
+	// worker goroutines are not between spawn and join.
+	wenvs []*workerEnv
+	specs []*speculation
+	delta batchDelta
 }
 
 // New returns a router over g.
@@ -97,6 +105,12 @@ type routeEnv struct {
 	tr     obs.Tracer
 	budget *robust.Budget
 	eval   *costEvaluator
+	// search is the attempt's reusable TIG searcher: every two-terminal
+	// connection of every net routed through this env runs on the same
+	// scratch arenas. A Search invalidates the previous Search's result
+	// memory, which is safe here because connect/selectBest/addPath
+	// consume each result fully before the next search starts.
+	search *tig.Searcher
 	// read, when non-nil, accumulates the dilated grid windows the
 	// attempt's searches and cost evaluations observe; the parallel
 	// committer tests them against earlier commits to decide whether
@@ -136,7 +150,8 @@ func (r *Router) Route(nets []*netlist.Net) (*Result, error) {
 	}
 	env := &routeEnv{
 		g: r.g, tr: r.tr, budget: r.cfg.Budget,
-		eval: newCostEvaluator(r.g, r.cfg.Weights),
+		eval:   newCostEvaluator(r.g, r.cfg.Weights),
+		search: tig.NewSearcher(),
 	}
 	res := &Result{}
 	ordered := orderNets(nets, r.cfg.Order)
@@ -568,7 +583,7 @@ func (r *Router) connect(env *routeEnv, nr *NetRoute, from, to tig.Point, res *R
 
 	attempt := func(cfg tig.Config) (tig.Path, bool, error) {
 		env.noteRead(cfg.ColBounds, cfg.RowBounds)
-		sr, ok := tig.Search(env.g, from, to, cfg)
+		sr, ok := env.search.Search(env.g, from, to, cfg)
 		if sr != nil {
 			res.Expanded += sr.Expanded
 			nr.Expanded += sr.Expanded

@@ -89,6 +89,14 @@ func (s *IntervalSet) Clone() *IntervalSet {
 	return c
 }
 
+// CopyFrom replaces the receiver's contents with a deep copy of src,
+// reusing the receiver's backing storage when it has capacity. This is
+// the copy primitive behind grid's copy-on-write tracks: a track copied
+// once keeps its buffer for every later snapshot epoch.
+func (s *IntervalSet) CopyFrom(src *IntervalSet) {
+	s.ivs = append(s.ivs[:0], src.ivs...)
+}
+
 // search returns the index of the first interval with Hi >= x.
 func (s *IntervalSet) search(x int) int {
 	return sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= x })
@@ -111,8 +119,20 @@ func (s *IntervalSet) Add(iv Interval) {
 		hi = Max(hi, s.ivs[last].Hi)
 		last++
 	}
-	merged := Interval{lo, hi}
-	s.ivs = append(s.ivs[:first], append([]Interval{merged}, s.ivs[last:]...)...)
+	if first == last {
+		// Pure insertion: shift the tail right by one in place. The
+		// append only allocates when the backing array is full, so
+		// steady-state Adds on a reused set are allocation-free.
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[first+1:], s.ivs[first:])
+		s.ivs[first] = Interval{lo, hi}
+		return
+	}
+	// Merge: the absorbed intervals [first,last) collapse into one.
+	s.ivs[first] = Interval{lo, hi}
+	if last > first+1 {
+		s.ivs = append(s.ivs[:first+1], s.ivs[last:]...)
+	}
 }
 
 // AddPoint inserts the single integer x.
@@ -125,20 +145,49 @@ func (s *IntervalSet) Remove(iv Interval) {
 		return
 	}
 	first := s.search(iv.Lo)
-	var out []Interval
-	out = append(out, s.ivs[:first]...)
-	i := first
-	for ; i < len(s.ivs) && s.ivs[i].Lo <= iv.Hi; i++ {
-		cur := s.ivs[i]
+	last := first
+	// At most two fragments survive the cut: a left remainder of the
+	// first affected interval and a right remainder of the last.
+	var left, right Interval
+	hasLeft, hasRight := false, false
+	for ; last < len(s.ivs) && s.ivs[last].Lo <= iv.Hi; last++ {
+		cur := s.ivs[last]
 		if cur.Lo < iv.Lo {
-			out = append(out, Interval{cur.Lo, iv.Lo - 1})
+			left = Interval{cur.Lo, iv.Lo - 1}
+			hasLeft = true
 		}
 		if cur.Hi > iv.Hi {
-			out = append(out, Interval{iv.Hi + 1, cur.Hi})
+			right = Interval{iv.Hi + 1, cur.Hi}
+			hasRight = true
 		}
 	}
-	out = append(out, s.ivs[i:]...)
-	s.ivs = out
+	if first == last {
+		return
+	}
+	frags := 0
+	if hasLeft {
+		frags++
+	}
+	if hasRight {
+		frags++
+	}
+	switch removed := last - first; {
+	case frags > removed:
+		// Split of a single interval into two: grow by one slot and
+		// shift the tail right (allocates only on capacity growth).
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[last+1:], s.ivs[last:])
+	case frags < removed:
+		// Net shrink: slide the tail left over the freed slots.
+		s.ivs = append(s.ivs[:first+frags], s.ivs[last:]...)
+	}
+	if hasLeft {
+		s.ivs[first] = left
+		first++
+	}
+	if hasRight {
+		s.ivs[first] = right
+	}
 }
 
 // Contains reports whether x is in the set.

@@ -14,6 +14,8 @@
 package maze
 
 import (
+	"sync"
+
 	"overcell/internal/geom"
 	"overcell/internal/grid"
 	"overcell/internal/obs"
@@ -25,6 +27,48 @@ import (
 type state struct {
 	col, row int
 	layer    grid.Layer
+}
+
+// scratch is the reusable wave state: parent indices with epoch stamps
+// (so reuse skips the O(w*h) -1 refill), the BFS queue, and the
+// backtrace cell buffer. Pooled because maze searches run from both
+// benchmark harnesses and crosscheck tests on goroutines the package
+// does not control.
+type scratch struct {
+	prev  []int    // parent state index; valid iff stamp matches epoch
+	stamp []uint32 // per-state visit epoch
+	epoch uint32
+	queue []state
+	cells []tig.Point // backtrace staging; the returned path is always a fresh copy
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// ensure readies the scratch for a wave over n states.
+func (sc *scratch) ensure(n int) {
+	if len(sc.prev) < n {
+		sc.prev = make([]int, n)
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wrap: invalidate everything the slow way
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.queue = sc.queue[:0]
+	sc.cells = sc.cells[:0]
+}
+
+// visited reports whether state i has a parent this epoch.
+func (sc *scratch) visited(i int) bool { return sc.stamp[i] == sc.epoch }
+
+// setPrev records the parent of state i.
+func (sc *scratch) setPrev(i, parent int) {
+	sc.prev[i] = parent
+	sc.stamp[i] = sc.epoch
 }
 
 // Result reports a maze routing run.
@@ -101,24 +145,20 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 	idx := func(s state) int {
 		return (int(s.layer)*h+(s.row-rows.Lo))*w + (s.col - cols.Lo)
 	}
-	prev := make([]int, 2*w*h)
-	for i := range prev {
-		prev[i] = -1
-	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.ensure(2 * w * h)
 	res := &Result{}
 
 	// Either layer is acceptable at the source: the terminal stack
 	// reaches both.
-	starts := []state{
+	starts := [2]state{
 		{from.Col, from.Row, grid.LayerH},
 		{from.Col, from.Row, grid.LayerV},
 	}
-	// The wave can reach every (cell, layer) state once; sizing the
-	// queue for that worst case makes the append below allocation-free.
-	queue := make([]state, 0, 2*w*h)
 	for _, s := range starts {
-		prev[idx(s)] = idx(s) // self-parent marks the roots
-		queue = append(queue, s)
+		sc.setPrev(idx(s), idx(s)) // self-parent marks the roots
+		sc.queue = append(sc.queue, s)
 		res.Expanded++
 	}
 
@@ -131,8 +171,8 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 
 	var goal state
 	found := false
-	for qi := 0; qi < len(queue) && !found; qi++ {
-		cur := queue[qi]
+	for qi := 0; qi < len(sc.queue) && !found; qi++ {
+		cur := sc.queue[qi]
 		var moves [3]state // stack array: no per-cell allocation
 		if cur.layer == grid.LayerH {
 			moves = [3]state{
@@ -151,7 +191,7 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 			if !cols.Contains(nxt.col) || !rows.Contains(nxt.row) {
 				continue
 			}
-			if prev[idx(nxt)] >= 0 {
+			if sc.visited(idx(nxt)) {
 				continue
 			}
 			if nxt.layer == cur.layer {
@@ -161,7 +201,7 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 			} else if !g.PointFree(nxt.col, nxt.row) {
 				continue // a via needs the point clear on both layers
 			}
-			prev[idx(nxt)] = idx(cur)
+			sc.setPrev(idx(nxt), idx(cur))
 			res.Expanded++
 			if err := b.Charge(1); err != nil {
 				res.Err = err
@@ -172,21 +212,23 @@ func route(g *grid.Grid, from, to tig.Point, cols, rows geom.Interval, b *robust
 				found = true
 				break
 			}
-			queue = append(queue, nxt)
+			sc.queue = append(sc.queue, nxt)
 		}
 	}
 	if !found {
 		return res, false
 	}
-	res.Path = backtrace(prev, goal, w, h, cols, rows, idx)
+	res.Path = backtrace(sc, goal, w, h, cols, rows, idx)
 	return res, true
 }
 
 // backtrace walks the parent pointers from the goal to a root and
-// compresses the cell sequence into corner points.
+// compresses the cell sequence into corner points. The staging cell
+// buffer is pooled scratch; the returned Path always owns a fresh
+// Points slice (it escapes into Result).
 //
 //oc:hotpath
-func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
+func backtrace(sc *scratch, goal state, w, h int, cols, rows geom.Interval, idx func(state) int) tig.Path {
 	unidx := func(i int) state {
 		layer := grid.Layer(i / (w * h))
 		rem := i % (w * h)
@@ -196,28 +238,29 @@ func backtrace(prev []int, goal state, w, h int, cols, rows geom.Interval, idx f
 			layer: layer,
 		}
 	}
-	// w+h covers every monotone (L- or Z-shaped) path without a regrow;
-	// serpentine paths fall back to append's doubling.
-	cells := make([]tig.Point, 0, w+h)
+	cells := sc.cells[:0]
 	cur := goal
 	for {
 		p := tig.Point{Col: cur.col, Row: cur.row}
 		if len(cells) == 0 || cells[len(cells)-1] != p {
 			cells = append(cells, p)
 		}
-		pi := prev[idx(cur)]
+		pi := sc.prev[idx(cur)]
 		if pi == idx(cur) {
 			break // root
 		}
 		cur = unidx(pi)
 	}
+	sc.cells = cells
 	// Reverse into source->target order.
 	for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
 		cells[i], cells[j] = cells[j], cells[i]
 	}
 	// Compress collinear runs.
 	if len(cells) <= 2 {
-		return tig.Path{Points: cells}
+		out := make([]tig.Point, len(cells))
+		copy(out, cells)
+		return tig.Path{Points: out}
 	}
 	out := make([]tig.Point, 1, len(cells))
 	out[0] = cells[0]

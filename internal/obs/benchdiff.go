@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // DiffOptions tunes DiffBench's regression gate.
@@ -19,6 +20,11 @@ type DiffOptions struct {
 	// differs (or is missing on one side). Off by default because
 	// cross-machine timing deltas are noise.
 	IgnoreHost bool
+	// GateAllocs lists workload-name prefixes whose allocs/op
+	// regressions are a hard gate: they trip AllocGated even across a
+	// host mismatch, because allocation counts — unlike timings — are
+	// deterministic per workload and comparable between machines.
+	GateAllocs []string
 }
 
 const defaultMaxRegress = 0.10
@@ -49,8 +55,12 @@ type BenchDelta struct {
 	Ratio      float64 `json:"ratio"`
 	AllocRatio float64 `json:"alloc_ratio"`
 	Regressed  bool    `json:"regressed"`
-	OnlyOld    bool    `json:"only_old,omitempty"` // workload removed
-	OnlyNew    bool    `json:"only_new,omitempty"` // workload added
+	// AllocGated marks an allocs/op regression on a workload matched by
+	// DiffOptions.GateAllocs; it is set independently of Regressed and
+	// of host mismatch.
+	AllocGated bool `json:"alloc_gated,omitempty"`
+	OnlyOld    bool `json:"only_old,omitempty"` // workload removed
+	OnlyNew    bool `json:"only_new,omitempty"` // workload added
 }
 
 // BenchDiff is the full comparison of two bench snapshots.
@@ -68,6 +78,19 @@ func (d *BenchDiff) Regressed() bool {
 	}
 	for _, bd := range d.Deltas {
 		if bd.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocGated reports whether any GateAllocs-matched workload grew its
+// allocs/op past the tolerance. Unlike Regressed this survives a host
+// mismatch: allocation counts are machine-independent, so the gate
+// holds wherever the snapshots were measured.
+func (d *BenchDiff) AllocGated() bool {
+	for _, bd := range d.Deltas {
+		if bd.AllocGated {
 			return true
 		}
 	}
@@ -116,13 +139,20 @@ func DiffBench(oldF, newF *BenchFile, opt DiffOptions) *BenchDiff {
 		if ob.AllocsPerOp > 0 {
 			bd.AllocRatio = float64(nb.AllocsPerOp) / float64(ob.AllocsPerOp)
 		}
+		allocRegressed := false
+		if ar := opt.maxAllocRegress(); ar >= 0 && ob.AllocsPerOp > 0 && bd.AllocRatio > 1+ar {
+			allocRegressed = true
+		}
 		if d.HostMismatch == "" {
 			if mr := opt.maxRegress(); mr >= 0 && ob.NsPerOp > 0 && bd.Ratio > 1+mr {
 				bd.Regressed = true
 			}
-			if ar := opt.maxAllocRegress(); ar >= 0 && ob.AllocsPerOp > 0 && bd.AllocRatio > 1+ar {
+			if allocRegressed {
 				bd.Regressed = true
 			}
+		}
+		if allocRegressed && hasPrefixIn(nb.Name, opt.GateAllocs) {
+			bd.AllocGated = true
 		}
 		d.Deltas = append(d.Deltas, bd)
 	}
@@ -135,6 +165,17 @@ func DiffBench(oldF, newF *BenchFile, opt DiffOptions) *BenchDiff {
 	}
 	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Name < d.Deltas[j].Name })
 	return d
+}
+
+// hasPrefixIn reports whether name starts with any of the (non-empty)
+// prefixes.
+func hasPrefixIn(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // WriteMarkdown renders the diff as a GitHub-flavoured markdown table
@@ -169,6 +210,9 @@ func (d *BenchDiff) WriteMarkdown(w io.Writer) error {
 			}
 			if bd.Regressed {
 				status = "**REGRESSED**"
+			}
+			if bd.AllocGated {
+				status = "**ALLOCS GATED**"
 			}
 		}
 		cell := func(v int64) string {

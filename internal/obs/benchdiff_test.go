@@ -85,6 +85,47 @@ func TestDiffBenchAllocGate(t *testing.T) {
 	}
 }
 
+// TestDiffBenchGateAllocs exercises the hard allocs/op gate: a matched
+// prefix trips AllocGated — even across a host mismatch, where the
+// timing gates stand down — and an unmatched one does not.
+func TestDiffBenchGateAllocs(t *testing.T) {
+	oldF, newF := benchPair()
+	newF.Benchmarks[1].AllocsPerOp = 80 // b: +60% allocs, same time
+
+	if d := DiffBench(oldF, newF, DiffOptions{GateAllocs: []string{"b"}}); !d.AllocGated() {
+		t.Error("gated prefix did not trip AllocGated")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{GateAllocs: []string{"a", "zzz"}}); d.AllocGated() {
+		t.Error("unmatched prefixes tripped AllocGated")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{}); d.AllocGated() {
+		t.Error("AllocGated with no gates configured")
+	}
+	if d := DiffBench(oldF, newF, DiffOptions{MaxAllocRegress: -1, GateAllocs: []string{"b"}}); d.AllocGated() {
+		t.Error("AllocGated with the alloc tolerance disabled")
+	}
+
+	// Host mismatch demotes timing regressions to notes but must not
+	// weaken the alloc gate: allocation counts are machine-independent.
+	oldF.Schema, newF.Schema = 2, 2
+	oldF.Host = &BenchHost{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8, NumCPU: 8}
+	newF.Host = &BenchHost{GOOS: "linux", GOARCH: "arm64", GOMAXPROCS: 4, NumCPU: 4}
+	d := DiffBench(oldF, newF, DiffOptions{GateAllocs: []string{"b"}})
+	if d.Regressed() {
+		t.Error("cross-host timing diff regressed")
+	}
+	if !d.AllocGated() {
+		t.Error("host mismatch silenced the alloc gate")
+	}
+	var md strings.Builder
+	if err := d.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "**ALLOCS GATED**") {
+		t.Errorf("markdown missing the gated status:\n%s", md.String())
+	}
+}
+
 func TestDiffBenchHostMismatch(t *testing.T) {
 	oldF, newF := benchPair()
 	newF.Benchmarks[0].NsPerOp = 9999 // wild slowdown

@@ -273,9 +273,10 @@ func (c *Collector) BatchSpeculated() {
 }
 
 // Spec records one speculation's private accounting as the committer
-// reaches it: which worker ran it, how long it routed, how many grid
-// cells its snapshot cloned, how many trace events it buffered, and
-// what its budget fork charged.
+// reaches it: which worker ran it, how long it routed, how many
+// per-track copies its copy-on-write snapshot materialised (the
+// cloneCells parameter — full grid cells before COW snapshots), how
+// many trace events it buffered, and what its budget fork charged.
 //
 //oc:hotpath
 func (c *Collector) Spec(worker int, net string, start, end time.Time, cloneCells, bufferedEvents int, budgetUsed, budgetCharges int64) {

@@ -93,6 +93,10 @@ type ParallelReport struct {
 	CommitNS   int64 `json:"commit_ns"`
 	RerouteNS  int64 `json:"reroute_ns"`
 
+	// CloneCells sums what the workers' snapshots really did: per-track
+	// interval-set copies under the copy-on-write protocol (before COW
+	// snapshots it counted full clone sizes in grid cells; the JSON key
+	// is kept stable for downstream report readers).
 	CloneCells     int64 `json:"clone_cells"`
 	BufferedEvents int64 `json:"buffered_events"`
 	BudgetUsed     int64 `json:"budget_used"`
@@ -290,14 +294,14 @@ func (r *Report) Table() string {
 	if pp := r.Parallel; pp != nil {
 		fmt.Fprintf(&b, "  parallel: %d batches, %d speculated, %d committed, %d window conflicts, %d other discards\n",
 			pp.Batches, pp.Speculated, pp.Committed, pp.WindowConf, pp.OtherDiscards)
-		fmt.Fprintf(&b, "    speculation  %10s  %12d allocs  %14s  (%d cells cloned, %d events buffered)\n",
+		fmt.Fprintf(&b, "    speculation  %10s  %12d allocs  %14s  (%d COW track copies, %d events buffered)\n",
 			ns(pp.SpecNS), pp.SpecAllocs, bytesH(pp.SpecBytes), pp.CloneCells, pp.BufferedEvents)
 		fmt.Fprintf(&b, "    commit loop  validate %s  commit %s  reroute %s  queue-dwell %s\n",
 			ns(pp.ValidateNS), ns(pp.CommitNS), ns(pp.RerouteNS), ns(pp.DwellNS))
 		fmt.Fprintf(&b, "    budget: %d expansions over %d charge batches via worker forks\n",
 			pp.BudgetUsed, pp.BudgetCharges)
 		for _, w := range pp.Workers {
-			fmt.Fprintf(&b, "    worker w%-3d %5d specs %10s  %10d cells  %8d events  %10d expansions / %d charges\n",
+			fmt.Fprintf(&b, "    worker w%-3d %5d specs %10s  %10d copies  %8d events  %10d expansions / %d charges\n",
 				w.Worker, w.Specs, ns(w.SpecNS), w.CloneCells, w.BufferedEvents, w.BudgetUsed, w.BudgetCharges)
 		}
 		for i, cp := range pp.ConflictPairs {

@@ -120,6 +120,45 @@ func (b *Budget) Fork() *Budget {
 	return child
 }
 
+// ForkInto is Fork with child reuse: when child is a Budget previously
+// returned by Fork or ForkInto on any parent, it is re-armed in place —
+// counters zeroed, sticky state cleared, total allowance re-derived
+// from b's current headroom — and returned, so a worker that speculates
+// once per batch does not allocate a fresh fork each time. A nil child
+// (or nil b, which forks to nil/unbounded) falls back to Fork. The
+// reset is plain stores on the child's atomics; callers must not reuse
+// a child that other goroutines can still observe.
+func (b *Budget) ForkInto(child *Budget) *Budget {
+	if b == nil {
+		return nil
+	}
+	if child == nil {
+		return b.Fork()
+	}
+	child.ctx = b.ctx
+	child.deadline = b.deadline
+	child.netMax = b.netMax
+	child.totalMax = 0
+	child.net.Store(0)
+	child.total.Store(0)
+	child.charges.Store(0)
+	child.poll.Store(pollStride)
+	child.sticky.Store(nil)
+	if b.totalMax > 0 {
+		rem := b.totalMax - b.total.Load()
+		if rem > 0 {
+			child.totalMax = rem
+		} else {
+			// Parent sits exactly at its cap: the child's first charge
+			// must trip (a remaining allowance of zero would read as
+			// unbounded).
+			child.totalMax = 1
+			child.total.Store(1)
+		}
+	}
+	return child
+}
+
 // BeginNet opens a new per-net accounting window: the per-net
 // expansion counter resets, the run-wide counters continue.
 func (b *Budget) BeginNet() {

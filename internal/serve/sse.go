@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -83,19 +84,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Resume point: Last-Event-ID (standard SSE reconnect) or ?from=
-	// both name the last sequence already seen; we start after it.
-	var from uint64
-	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		if seq, err := strconv.ParseUint(v, 10, 64); err == nil {
-			from = seq + 1
-		}
-	} else if v := r.URL.Query().Get("from"); v != "" {
-		if seq, err := strconv.ParseUint(v, 10, 64); err == nil {
-			from = seq
-		}
-	}
-
+	from, notice := resumeCursor(r, br)
 	sub := br.Subscribe(from)
 	defer sub.Close()
 	s.streamSubs.Inc()
@@ -105,6 +94,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+
+	if notice != nil {
+		fmt.Fprintf(w, "event: drop\ndata: %s\n\n", notice)
+		fl.Flush()
+	}
 
 	for {
 		hb, cancel := context.WithTimeout(r.Context(), s.cfg.StreamHeartbeat)
@@ -136,6 +130,60 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", n.Seq, n.Ev.Type, data)
 		fl.Flush()
 	}
+}
+
+// resumeCursor resolves the client's requested resume point — the
+// Last-Event-ID header (standard SSE reconnect, names the last
+// sequence already seen) or the ?from= query (names the first sequence
+// wanted) — against the broker's published count. Out-of-range input
+// never fails the request and never silently falls back: a garbage or
+// negative cursor replays from the start, and a cursor beyond anything
+// published clamps to the live edge (where a finished run ends the
+// stream immediately and a live run resumes with the next event); both
+// corrections are announced to the client as an explicit drop notice
+// so a resuming client cannot mistake the corrected stream for the
+// continuation it asked for. Without the clamp a past-end cursor would
+// sit between the broker's gap accounting (which only covers cursors
+// that fall behind the ring) and the live edge, silently swallowing
+// every event published until the sequence caught up.
+func resumeCursor(r *http.Request, br *stream.Broker) (from uint64, notice []byte) {
+	raw := r.Header.Get("Last-Event-ID")
+	after := raw != "" // header names the last seen event; resume after it
+	if raw == "" {
+		raw = r.URL.Query().Get("from")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	published, _, _ := br.Stats()
+	seq, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		// Garbage, including negatives (ParseUint rejects a sign).
+		return 0, dropNotice(fmt.Sprintf("unparseable cursor %q: replaying from start", raw))
+	}
+	if after {
+		if seq == math.MaxUint64 {
+			// seq+1 would wrap to 0 and silently replay everything.
+			return published, dropNotice(fmt.Sprintf("cursor %s out of range: resuming at live edge %d", raw, published))
+		}
+		seq++
+	}
+	if seq > published {
+		return published, dropNotice(fmt.Sprintf("cursor %s out of range: resuming at live edge %d", raw, published))
+	}
+	return seq, nil
+}
+
+// dropNotice builds the JSON payload of a cursor-correction drop
+// event: zero events were actually lost (dropped counts ring
+// evictions, and none happened here), the reason says what was
+// corrected.
+func dropNotice(reason string) []byte {
+	b, _ := json.Marshal(struct {
+		Dropped uint64 `json:"dropped"`
+		Reason  string `json:"reason"`
+	}{0, reason})
+	return b
 }
 
 // handleCongestion serves the run's congestion time-series as JSON.

@@ -196,6 +196,90 @@ func TestSSESlowClientDrop(t *testing.T) {
 	}
 }
 
+// TestSSECursorOutOfRange audits the resume surface against hostile
+// cursors: garbage, negative, past-end, and the MaxUint64 header whose
+// naive seq+1 wraps to zero. Every case must answer 200 with a valid
+// SSE stream that starts with an explicit drop notice naming the
+// correction — never a 500, and never a silent replay-from-zero a
+// resuming client would mistake for its continuation.
+func TestSSECursorOutOfRange(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, st, raw := postRun(t, ts.URL, "?flow=proposed&wait=1", testInstance(t))
+	if st.State != StateDone {
+		t.Fatalf("run = %s %.200s", st.State, raw)
+	}
+	base := getSSE(t, ts.URL+"/runs/"+st.ID+"/events", "")
+	if len(base) < 3 {
+		t.Fatalf("only %d baseline SSE messages", len(base))
+	}
+	published := st.StreamEvents
+
+	cases := []struct {
+		name        string
+		query       string
+		lastEventID string
+		wantReason  string // substring of the leading drop notice; "" = no notice
+		wantFirstID string // id of the first event after any notice; "" = straight to end
+	}{
+		{name: "valid from", query: "?from=1", wantFirstID: "1"},
+		{name: "negative from", query: "?from=-5", wantReason: "unparseable", wantFirstID: "0"},
+		{name: "garbage from", query: "?from=banana", wantReason: "unparseable", wantFirstID: "0"},
+		{name: "past-end from", query: fmt.Sprintf("?from=%d", published+1000), wantReason: "out of range"},
+		{name: "live-edge from", query: fmt.Sprintf("?from=%d", published)}, // exactly the edge: valid, no notice, no events
+		{name: "garbage last-event-id", lastEventID: "not-a-number", wantReason: "unparseable", wantFirstID: "0"},
+		{name: "past-end last-event-id", lastEventID: fmt.Sprintf("%d", published+7), wantReason: "out of range"},
+		{name: "maxuint64 last-event-id", lastEventID: "18446744073709551615", wantReason: "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msgs := getSSE(t, ts.URL+"/runs/"+st.ID+"/events"+tc.query, tc.lastEventID)
+			if len(msgs) == 0 {
+				t.Fatal("empty stream")
+			}
+			if last := msgs[len(msgs)-1]; last.event != "end" {
+				t.Fatalf("stream did not finish with end event: %+v", last)
+			}
+			rest := msgs
+			if tc.wantReason != "" {
+				first := msgs[0]
+				if first.event != "drop" {
+					t.Fatalf("first message = %+v, want drop notice", first)
+				}
+				var d struct {
+					Dropped uint64 `json:"dropped"`
+					Reason  string `json:"reason"`
+				}
+				if err := json.Unmarshal([]byte(first.data), &d); err != nil {
+					t.Fatalf("drop notice %q: %v", first.data, err)
+				}
+				if d.Dropped != 0 || !strings.Contains(d.Reason, tc.wantReason) {
+					t.Fatalf("drop notice = %+v, want dropped 0 and reason containing %q", d, tc.wantReason)
+				}
+				rest = msgs[1:]
+			} else if msgs[0].event == "drop" {
+				t.Fatalf("unexpected drop notice: %+v", msgs[0])
+			}
+			if tc.wantFirstID == "" {
+				// Clamped to the live edge of a finished run: nothing
+				// but the end marker may follow.
+				if len(rest) != 1 {
+					t.Fatalf("%d messages after notice, want just end: %+v", len(rest), rest)
+				}
+				return
+			}
+			if rest[0].id != tc.wantFirstID {
+				t.Fatalf("first event id = %q, want %q", rest[0].id, tc.wantFirstID)
+			}
+			if tc.wantFirstID == "0" && len(rest) != len(base) {
+				t.Fatalf("replay-from-start delivered %d messages, want the full %d", len(rest), len(base))
+			}
+		})
+	}
+}
+
 var sseDurField = regexp.MustCompile(`,"dur_ns":\d+`)
 
 // sseNormalize reduces a parsed stream to its deterministic content:

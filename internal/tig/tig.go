@@ -135,6 +135,23 @@ func (p Path) CornerPoints() []Point {
 	return out
 }
 
+// AppendCorners appends the interior direction-change points to dst
+// and returns it, the allocation-free form of CornerPoints for callers
+// that evaluate many candidate paths against a reusable buffer.
+//
+//oc:hotpath
+func (p Path) AppendCorners(dst []Point) []Point {
+	for i := 1; i < len(p.Points)-1; i++ {
+		a, b, c := p.Points[i-1], p.Points[i], p.Points[i+1]
+		vertIn := a.Col == b.Col && a.Row != b.Row
+		vertOut := b.Col == c.Col && b.Row != c.Row
+		if vertIn != vertOut {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
 // Validate checks the structural invariants of a path: at least two
 // points, endpoints matching from/to, every segment axis-parallel and
 // axes alternating.
@@ -244,7 +261,28 @@ type Result struct {
 // surface (the router lifts the net's own terminals and shapes before
 // searching). It returns nil and false when no path exists within the
 // configured window and corner budget.
+//
+// Each call runs on a fresh Searcher, so the returned Result and
+// everything it references stay valid indefinitely. Hot callers that
+// issue many searches should hold their own Searcher and call its
+// Search method to reuse the scratch memory.
 func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
+	var st Searcher
+	return st.Search(s, from, to, cfg)
+}
+
+// NewSearcher returns a reusable searcher. The zero value is also
+// ready to use.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+// Search runs one MBFS on the searcher's reusable scratch memory.
+// Semantics are identical to the package-level Search with one
+// lifetime caveat: the returned Result (its Paths, their Points, and
+// Trees) aliases the searcher's arenas and is only valid until the
+// next call to Search on the same Searcher. The level-B router
+// consumes each result before issuing the next search; callers that
+// retain results across searches must use the package-level Search.
+func (st *Searcher) Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 	if from == to {
 		return &Result{Paths: []Path{{Points: []Point{from}}}}, true
 	}
@@ -275,27 +313,25 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 		maxPaths = DefaultMaxPaths
 	}
 
-	st := &search{
-		s: s, to: to, cb: cb, rb: rb,
-		relaxed:  cfg.RelaxedVisit,
-		maxPaths: maxPaths,
-		visited:  make(map[Track]int),
-		budget:   cfg.Budget,
-	}
+	st.prepare(s.NX(), s.NY())
+	st.s, st.to, st.cb, st.rb = s, to, cb, rb
+	st.relaxed = cfg.RelaxedVisit
+	st.maxPaths = maxPaths
+	st.budget = cfg.Budget
+
 	// Two MBFS runs from the same terminal: one starting on its
 	// vertical track, one on its horizontal track (paper section 3.1).
-	var roots []*Node
 	if cfg.Starts == StartBoth || cfg.Starts == StartVertical {
-		roots = append(roots, &Node{Track: Track{Vertical: true, Index: from.Col}, Entry: from.Row})
+		st.roots = append(st.roots, st.arena.alloc(Track{Vertical: true, Index: from.Col}, from.Row, 0, nil))
 	}
 	if cfg.Starts == StartBoth || cfg.Starts == StartHorizontal {
-		roots = append(roots, &Node{Track: Track{Vertical: false, Index: from.Row}, Entry: from.Col})
+		st.roots = append(st.roots, st.arena.alloc(Track{Vertical: false, Index: from.Row}, from.Col, 0, nil))
 	}
-	for _, root := range roots {
-		st.visited[root.Track] = 0
+	for _, root := range st.roots {
+		st.mark(root.Track, 0)
 	}
-	frontier := append([]*Node(nil), roots...)
-	res := &Result{Trees: roots}
+	st.frontier = append(st.frontier[:0], st.roots...)
+	res := &Result{Trees: st.roots}
 	tr := obs.OrNop(cfg.Tracer)
 	finish := func(found bool) {
 		res.Expanded = st.expanded
@@ -308,49 +344,125 @@ func Search(s Surface, from, to Point, cfg Config) (*Result, bool) {
 			})
 		}
 	}
-	for level := 0; len(frontier) > 0 && level <= maxCorners; level++ {
+	for level := 0; len(st.frontier) > 0 && level <= maxCorners; level++ {
 		res.Levels = level
-		var done []Path
-		for _, n := range frontier {
+		st.done = st.done[:0]
+		for _, n := range st.frontier {
 			if p, ok := st.complete(n, from); ok {
-				done = append(done, p)
-				if len(done) >= maxPaths {
+				st.done = append(st.done, p)
+				if len(st.done) >= maxPaths {
 					break
 				}
 			}
 		}
-		if len(done) > 0 {
-			res.Paths = done
-			res.Corners = done[0].Corners()
+		if len(st.done) > 0 {
+			res.Paths = st.done
+			res.Corners = st.done[0].Corners()
 			finish(true)
 			return res, true
 		}
-		var next []*Node
-		for _, n := range frontier {
-			next = append(next, st.expand(n)...)
+		st.next = st.next[:0]
+		for _, n := range st.frontier {
+			st.expand(n)
 		}
 		if st.err != nil {
 			res.Err = st.err
 			finish(false)
 			return res, false
 		}
-		frontier = next
+		st.frontier, st.next = st.next, st.frontier
 	}
 	finish(false)
 	return res, false
 }
 
-type search struct {
+// Searcher owns the reusable scratch of an MBFS: the path-selection-
+// tree node arena, the flat epoch-stamped visited arrays that replace
+// a per-search map, the frontier queues, and the path reconstruction
+// buffers. A Searcher is not safe for concurrent use; the parallel
+// router keeps one per worker.
+type Searcher struct {
+	// Per-call search view.
 	s        Surface
 	to       Point
 	cb, rb   geom.Interval
 	relaxed  bool
 	maxPaths int
-	visited  map[Track]int
 	expanded int
 	pruned   int
 	budget   *robust.Budget
 	err      error // first budget/cancellation error; stops the search
+
+	// Reusable scratch, reset by prepare.
+	arena     nodeArena
+	visStampV []uint64 // per vertical track: epoch of last visit
+	visStampH []uint64 // per horizontal track
+	visLevelV []int    // level recorded at that visit
+	visLevelH []int
+	visEpoch  uint64
+	roots     []*Node
+	frontier  []*Node
+	next      []*Node
+	done      []Path
+	chain     []*Node
+	pts       []Point // path-point arena; each reconstructed path is a capped window
+}
+
+// prepare resets the searcher for a new run, growing the visited
+// arrays to the surface's track counts if needed. Visited state is
+// invalidated in O(1) by bumping the epoch.
+func (st *Searcher) prepare(nx, ny int) {
+	if len(st.visStampV) < nx {
+		st.visStampV = make([]uint64, nx)
+		st.visLevelV = make([]int, nx)
+	}
+	if len(st.visStampH) < ny {
+		st.visStampH = make([]uint64, ny)
+		st.visLevelH = make([]int, ny)
+	}
+	st.visEpoch++
+	st.arena.reset()
+	st.roots = st.roots[:0]
+	st.frontier = st.frontier[:0]
+	st.next = st.next[:0]
+	st.done = st.done[:0]
+	st.chain = st.chain[:0]
+	st.pts = st.pts[:0]
+	st.expanded, st.pruned = 0, 0
+	st.err = nil
+}
+
+// arenaChunk is the node count per arena block. Blocks are kept and
+// reused across searches; pointers into them stay stable because a
+// block is never reallocated, only re-stamped.
+const arenaChunk = 256
+
+// nodeArena hands out tree nodes from reusable fixed-size blocks.
+type nodeArena struct {
+	chunks [][]Node
+	ci, ni int // next free slot: chunks[ci][ni]
+}
+
+func (a *nodeArena) reset() { a.ci, a.ni = 0, 0 }
+
+// alloc returns a node initialised to the given fields. The node's
+// Children backing from a previous search is retained (truncated), so
+// steady-state child appends do not allocate.
+//
+//oc:hotpath
+func (a *nodeArena) alloc(t Track, entry, level int, parent *Node) *Node {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Node, arenaChunk))
+	}
+	n := &a.chunks[a.ci][a.ni]
+	a.ni++
+	if a.ni == arenaChunk {
+		a.ci++
+		a.ni = 0
+	}
+	ch := n.Children[:0]
+	*n = Node{Track: t, Entry: entry, Level: level, Parent: parent, Children: ch}
+	return n
 }
 
 // span returns the maximal clear run of n's track around its entry
@@ -358,7 +470,7 @@ type search struct {
 // itself is blocked (cannot happen for well-formed searches, but a
 // root on a blocked terminal degrades to an empty search rather than
 // a panic).
-func (st *search) span(n *Node) (geom.Interval, bool) {
+func (st *Searcher) span(n *Node) (geom.Interval, bool) {
 	if n.Track.Vertical {
 		return st.s.VClearSpan(n.Track.Index, n.Entry, st.rb)
 	}
@@ -367,7 +479,7 @@ func (st *search) span(n *Node) (geom.Interval, bool) {
 
 // complete reports whether n's track runs straight to the target
 // terminal, and if so reconstructs the full path.
-func (st *search) complete(n *Node, from Point) (Path, bool) {
+func (st *Searcher) complete(n *Node, from Point) (Path, bool) {
 	if n.Track.Vertical {
 		if n.Track.Index != st.to.Col {
 			return Path{}, false
@@ -386,22 +498,25 @@ func (st *search) complete(n *Node, from Point) (Path, bool) {
 	if !span.Contains(pos) {
 		return Path{}, false
 	}
-	return reconstruct(n, from, st.to), true
+	return st.reconstruct(n, from, st.to), true
 }
 
 // expand creates the children of n: every perpendicular track crossing
 // n's clear span at a usable intersection, subject to the visit rule.
-// Children created are charged against the search budget; once the
-// budget trips, expansion stops producing work.
-func (st *search) expand(n *Node) []*Node {
+// Children are appended to the next-level frontier and charged against
+// the search budget; once the budget trips, expansion stops producing
+// work.
+//
+//oc:hotpath
+func (st *Searcher) expand(n *Node) {
 	if st.err != nil {
-		return nil
+		return
 	}
 	span, ok := st.span(n)
 	if !ok {
-		return nil
+		return
 	}
-	var kids []*Node
+	added := 0
 	for q := span.Lo; q <= span.Hi; q++ {
 		if q == n.Entry {
 			continue // zero-length run: a corner on top of the previous one
@@ -425,26 +540,35 @@ func (st *search) expand(n *Node) []*Node {
 		if !st.admit(child, n.Level+1) {
 			continue
 		}
-		c := &Node{Track: child, Entry: entry, Level: n.Level + 1, Parent: n}
+		c := st.arena.alloc(child, entry, n.Level+1, n)
 		n.Children = append(n.Children, c)
-		kids = append(kids, c)
+		st.next = append(st.next, c)
 		st.expanded++
+		added++
 	}
-	if err := st.budget.Charge(len(kids)); err != nil {
+	if err := st.budget.Charge(added); err != nil {
 		st.err = err
 	}
-	return kids
 }
 
 // admit applies the examine-each-vertex-once rule: a non-target track
 // already seen at an earlier (or, in strict mode, the same) level is
 // not re-entered. Target tracks are always admitted (the paper's
-// "with the exception of the target vertices").
-func (st *search) admit(t Track, level int) bool {
+// "with the exception of the target vertices"). Visited state lives in
+// flat per-direction arrays stamped with the search epoch, replacing
+// the per-search map the profile was dominated by.
+//
+//oc:hotpath
+func (st *Searcher) admit(t Track, level int) bool {
 	if (t.Vertical && t.Index == st.to.Col) || (!t.Vertical && t.Index == st.to.Row) {
 		return true
 	}
-	if prev, seen := st.visited[t]; seen {
+	stamp, lev := st.visStampH, st.visLevelH
+	if t.Vertical {
+		stamp, lev = st.visStampV, st.visLevelV
+	}
+	if stamp[t.Index] == st.visEpoch {
+		prev := lev[t.Index]
 		if prev < level {
 			st.pruned++
 			return false
@@ -455,38 +579,49 @@ func (st *search) admit(t Track, level int) bool {
 		}
 		return true
 	}
-	st.visited[t] = level
+	stamp[t.Index] = st.visEpoch
+	lev[t.Index] = level
 	return true
+}
+
+// mark records a track as visited at the given level.
+func (st *Searcher) mark(t Track, level int) {
+	if t.Vertical {
+		st.visStampV[t.Index] = st.visEpoch
+		st.visLevelV[t.Index] = level
+		return
+	}
+	st.visStampH[t.Index] = st.visEpoch
+	st.visLevelH[t.Index] = level
 }
 
 // reconstruct walks the parent chain of a completing node and builds
 // the full path from source terminal to target terminal, dropping
 // duplicate consecutive points (for example when the last corner
-// coincides with the target). The chain is measured first so both
-// slices are allocated exactly once.
+// coincides with the target). Points are carved out of the searcher's
+// point arena as a capacity-capped window, so reconstruction does not
+// allocate once the arena has warmed up; the window is immutable to
+// callers by construction (appending to it forces a copy).
 //
 //oc:hotpath
-func reconstruct(n *Node, from, to Point) Path {
-	depth := 0
+func (st *Searcher) reconstruct(n *Node, from, to Point) Path {
+	st.chain = st.chain[:0]
 	for c := n; c != nil; c = c.Parent {
-		depth++
+		st.chain = append(st.chain, c)
 	}
-	chain := make([]*Node, 0, depth)
-	for c := n; c != nil; c = c.Parent {
-		chain = append(chain, c)
+	start := len(st.pts)
+	st.pts = append(st.pts, from)
+	for i := len(st.chain) - 2; i >= 0; i-- { // skip root: its corner is the terminal
+		st.pts = append(st.pts, st.chain[i].Corner())
 	}
-	pts := make([]Point, 1, depth+1) // from + one corner per non-root node + to
-	pts[0] = from
-	for i := len(chain) - 2; i >= 0; i-- { // skip root: its corner is the terminal
-		pts = append(pts, chain[i].Corner())
-	}
-	pts = append(pts, to)
-	// Dedupe consecutive duplicates.
-	out := pts[:1]
-	for _, p := range pts[1:] {
+	st.pts = append(st.pts, to)
+	// Dedupe consecutive duplicates in place within the window.
+	out := st.pts[:start+1]
+	for _, p := range st.pts[start+1:] {
 		if p != out[len(out)-1] {
 			out = append(out, p)
 		}
 	}
-	return Path{Points: out}
+	st.pts = out
+	return Path{Points: out[start:len(out):len(out)]}
 }
